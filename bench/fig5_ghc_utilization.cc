@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Fig. 5: peak utilization U versus normalized load for the DVB TFG
+ * on generalized hypercubes at B = 64 bytes/us — the LSD-to-MSD
+ * routing-function assignment versus the final AssignPaths
+ * assignment. AssignPaths should always be at least as low, and the
+ * load at which U crosses 1.0 bounds where scheduled routing can be
+ * attempted.
+ */
+
+#include "fig_common.hh"
+#include "topology/generalized_hypercube.hh"
+
+int
+main()
+{
+    using namespace srsim;
+    const GeneralizedHypercube cube =
+        GeneralizedHypercube::binaryCube(6);
+    const GeneralizedHypercube ghc({4, 4, 4});
+    bench::runUtilizationPanel("Fig. 5 (top)", cube, 64.0);
+    bench::runUtilizationPanel("Fig. 5 (bottom)", ghc, 64.0);
+    return 0;
+}

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Fig. 6: peak utilization U versus normalized load for the DVB TFG
+ * on 8x8 and 4x4x4 tori at B = 64 bytes/us, LSD-to-MSD versus
+ * AssignPaths. With fewer alternative minimal paths than the GHCs,
+ * the tori stay above U = 1 across the sweep (the paper's
+ * observation that no feasible schedule exists for either torus at
+ * this bandwidth).
+ */
+
+#include "fig_common.hh"
+#include "topology/torus.hh"
+
+int
+main()
+{
+    using namespace srsim;
+    const Torus t88({8, 8});
+    const Torus t444({4, 4, 4});
+    bench::runUtilizationPanel("Fig. 6 (top)", t88, 64.0);
+    bench::runUtilizationPanel("Fig. 6 (bottom)", t444, 64.0);
+    return 0;
+}

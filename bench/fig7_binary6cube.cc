@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Fig. 7: DVB on a binary 6-cube — throughput and latency of
+ * wormhole routing (simulated, min/avg/max spikes mark output
+ * inconsistency) versus scheduled routing (computed + executed), at
+ * B = 64 and B = 128 bytes/us.
+ */
+
+#include "fig_common.hh"
+#include "topology/generalized_hypercube.hh"
+
+int
+main()
+{
+    using namespace srsim;
+    const GeneralizedHypercube cube =
+        GeneralizedHypercube::binaryCube(6);
+    bench::runThroughputPanel("Fig. 7 (top)", cube, 64.0);
+    bench::runThroughputPanel("Fig. 7 (bottom)", cube, 128.0);
+    return 0;
+}

@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Fig. 9: DVB on an 8x8 torus at B = 128 bytes/us (at 64 bytes/us
+ * the torus never reaches U <= 1, see Fig. 6). Scheduled routing is
+ * feasible at most load points; a few high-load points fail in
+ * message-interval allocation/scheduling, mirroring the three
+ * arrow-marked points of the paper.
+ */
+
+#include "fig_common.hh"
+#include "topology/torus.hh"
+
+int
+main()
+{
+    using namespace srsim;
+    const Torus t88({8, 8});
+    bench::runThroughputPanel("Fig. 9 (context: B = 64)", t88, 64.0);
+    bench::runThroughputPanel("Fig. 9", t88, 128.0);
+    return 0;
+}

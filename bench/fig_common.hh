@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Shared driver for the figure-reproduction benches.
+ *
+ * Each fig* binary reproduces one figure of the paper's evaluation:
+ * it builds the DVB TFG, allocates it on the target fabric, sweeps
+ * the twelve input periods, and prints the same series the paper
+ * plots. The absolute numbers come from srsim's simulator rather
+ * than the authors' testbed; the qualitative shape (where OI
+ * appears, where SR is feasible, who sustains constant throughput)
+ * is the reproduction target.
+ */
+
+#ifndef SRSIM_BENCH_FIG_COMMON_HH_
+#define SRSIM_BENCH_FIG_COMMON_HH_
+
+#include <iostream>
+#include <string>
+
+#include "exp/experiment.hh"
+#include "mapping/allocation.hh"
+#include "tfg/dvb.hh"
+#include "tfg/timing.hh"
+#include "topology/topology.hh"
+
+namespace srsim {
+namespace bench {
+
+/** Default DVB experiment setup for one fabric at one bandwidth. */
+struct FigureSetup
+{
+    DvbParams dvb;
+    ExperimentConfig cfg;
+    /**
+     * Task allocation: round-robin with a stride that spreads the
+     * pipeline across the whole 64-node machine (the paper's
+     * hand-made allocation from [Shu90] is not available; a spread
+     * placement exercises multi-hop paths and cross-invocation link
+     * sharing the way the paper's curves indicate).
+     */
+    int allocStride = 13;
+
+    TimingModel
+    timing(double bandwidth) const
+    {
+        TimingModel tm;
+        tm.apSpeed = dvb.matchedApSpeed();
+        tm.bandwidth = bandwidth;
+        return tm;
+    }
+
+    TaskAllocation
+    allocate(const TaskFlowGraph &g, const Topology &topo) const
+    {
+        return alloc::roundRobin(g, topo, allocStride);
+    }
+};
+
+/** Run + print a Fig. 7-10 style panel (one fabric, one bandwidth). */
+inline void
+runThroughputPanel(const std::string &figure, const Topology &topo,
+                   double bandwidth, const FigureSetup &setup = {})
+{
+    const TaskFlowGraph g = buildDvbTfg(setup.dvb);
+    const TimingModel tm = setup.timing(bandwidth);
+    const TaskAllocation alloc = setup.allocate(g, topo);
+    const auto points =
+        runThroughputExperiment(g, topo, alloc, tm, setup.cfg);
+
+    const std::string title =
+        figure + ": DVB on " + topo.name() + ", B = " +
+        std::to_string(static_cast<int>(bandwidth)) + " bytes/us" +
+        "  (tau_m/tau_c = " +
+        std::to_string(tm.tauM(g) / tm.tauC(g)) + ")";
+    printThroughputSeries(std::cout, title, points);
+}
+
+/** Run + print a Fig. 5/6 style panel (utilization only). */
+inline void
+runUtilizationPanel(const std::string &figure, const Topology &topo,
+                    double bandwidth, const FigureSetup &setup = {})
+{
+    const TaskFlowGraph g = buildDvbTfg(setup.dvb);
+    const TimingModel tm = setup.timing(bandwidth);
+    const TaskAllocation alloc = setup.allocate(g, topo);
+    const auto points =
+        runUtilizationExperiment(g, topo, alloc, tm, setup.cfg);
+
+    const std::string title =
+        figure + ": peak utilization, DVB on " + topo.name() +
+        ", B = " + std::to_string(static_cast<int>(bandwidth)) +
+        " bytes/us";
+    printUtilizationSeries(std::cout, title, points);
+}
+
+} // namespace bench
+} // namespace srsim
+
+#endif // SRSIM_BENCH_FIG_COMMON_HH_

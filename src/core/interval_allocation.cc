@@ -1,0 +1,291 @@
+#include "core/interval_allocation.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "solver/lp.hh"
+#include "util/logging.hh"
+
+namespace srsim {
+
+namespace {
+
+/** Guard-reserved capacity of (link, interval) for one subset. */
+Time
+guardedCapacity(const IntervalSet &ivs, const PathAssignment &pa,
+                const MessageSubset &sub, LinkId l, std::size_t k,
+                Time guard)
+{
+    const Time len = ivs.interval(k).length();
+    if (guard <= 0.0)
+        return len;
+    int active = 0;
+    for (std::size_t h : sub.members) {
+        const auto &links = pa.pathFor(h).links;
+        if (std::find(links.begin(), links.end(), l) ==
+            links.end())
+            continue;
+        // activeIntervals is sorted; linear scan is fine here.
+        for (std::size_t ak : ivs.activeIntervals(h))
+            if (ak == k) {
+                ++active;
+                break;
+            }
+    }
+    return std::max(0.0, len - guard * active);
+}
+
+/**
+ * LP allocation of one maximal subset. Returns false on
+ * infeasibility (Z > 1 or LP failure).
+ */
+bool
+allocateSubsetLp(const TimeBounds &bounds, const IntervalSet &ivs,
+                 const PathAssignment &pa, const MessageSubset &sub,
+                 Time guard, Matrix<Time> &P, double &peakLoad)
+{
+    lp::Problem prob;
+
+    // Variables: X_{hj} for every member h active in interval j,
+    // plus the peak-load fraction Z (minimized).
+    std::map<std::pair<std::size_t, std::size_t>, std::size_t> var;
+    for (std::size_t h : sub.members) {
+        for (std::size_t k : ivs.activeIntervals(h)) {
+            var[{h, k}] = prob.addVariable(
+                0.0, "X_" + std::to_string(h) + "_" +
+                         std::to_string(k));
+        }
+    }
+    const std::size_t z = prob.addVariable(1.0, "Z");
+
+    // (3) total allocation equals the message duration.
+    for (std::size_t h : sub.members) {
+        lp::Constraint c;
+        for (std::size_t k : ivs.activeIntervals(h))
+            c.terms.emplace_back(var.at({h, k}), 1.0);
+        c.rel = lp::Relation::Equal;
+        c.rhs = bounds.messages[h].duration;
+        prob.addConstraint(std::move(c));
+
+        // A message cannot transmit longer than an interval lasts
+        // (minus its own slot's guard).
+        for (std::size_t k : ivs.activeIntervals(h)) {
+            prob.addConstraint(
+                {{var.at({h, k}), 1.0}}, lp::Relation::LessEq,
+                std::max(0.0,
+                         ivs.interval(k).length() - guard));
+        }
+    }
+
+    // (4) per-(link, interval) capacity, tightened by Z:
+    //     sum_h X_hj - |A_j| * Z <= 0.
+    for (LinkId l : sub.links) {
+        for (std::size_t k : sub.intervals) {
+            lp::Constraint c;
+            for (std::size_t h : sub.members) {
+                const auto &links = pa.pathFor(h).links;
+                if (std::find(links.begin(), links.end(), l) ==
+                    links.end())
+                    continue;
+                auto it = var.find({h, k});
+                if (it != var.end())
+                    c.terms.emplace_back(it->second, 1.0);
+            }
+            if (c.terms.empty())
+                continue;
+            c.terms.emplace_back(
+                z, -guardedCapacity(ivs, pa, sub, l, k, guard));
+            c.rel = lp::Relation::LessEq;
+            c.rhs = 0.0;
+            prob.addConstraint(std::move(c));
+        }
+    }
+
+    const lp::Solution sol = lp::solve(prob);
+    if (!sol.feasible())
+        return false;
+    const double zval = sol.values[z];
+    peakLoad = std::max(peakLoad, zval);
+    if (zval > 1.0 + 1e-6)
+        return false;
+
+    for (const auto &[key, v] : var) {
+        const auto &[h, k] = key;
+        P.at(h, k) = std::max(0.0, sol.values[v]);
+    }
+    return true;
+}
+
+/**
+ * Greedy first-fit allocation of one subset (solver ablation):
+ * messages in decreasing-duration order fill their active intervals
+ * earliest-first, respecting per-(link, interval) residual capacity.
+ */
+bool
+allocateSubsetGreedy(const TimeBounds &bounds, const IntervalSet &ivs,
+                     const PathAssignment &pa,
+                     const MessageSubset &sub, Time guard,
+                     Matrix<Time> &P, double &peakLoad)
+{
+    // Residual capacity per (link, interval), guard-reserved.
+    std::map<std::pair<LinkId, std::size_t>, Time> residual;
+    for (LinkId l : sub.links)
+        for (std::size_t k : sub.intervals)
+            residual[{l, k}] =
+                guardedCapacity(ivs, pa, sub, l, k, guard);
+
+    std::vector<std::size_t> order = sub.members;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  return bounds.messages[a].duration >
+                         bounds.messages[b].duration;
+              });
+
+    for (std::size_t h : order) {
+        Time remaining = bounds.messages[h].duration;
+        const auto &links = pa.pathFor(h).links;
+        for (std::size_t k : ivs.activeIntervals(h)) {
+            if (timeLe(remaining, 0.0))
+                break;
+            Time room = std::max(0.0, ivs.interval(k).length() -
+                                          guard);
+            for (LinkId l : links)
+                room = std::min(room, residual.at({l, k}));
+            const Time take = std::min(room, remaining);
+            if (timeLe(take, 0.0))
+                continue;
+            P.at(h, k) += take;
+            for (LinkId l : links)
+                residual.at({l, k}) -= take;
+            remaining -= take;
+        }
+        if (timeGt(remaining, 0.0))
+            return false;
+    }
+
+    for (LinkId l : sub.links) {
+        for (std::size_t k : sub.intervals) {
+            const Time len = ivs.interval(k).length();
+            if (len > 0.0) {
+                peakLoad = std::max(
+                    peakLoad, (len - residual.at({l, k})) / len);
+            }
+        }
+    }
+    return true;
+}
+
+/**
+ * Round one message's per-interval allocations to whole packets,
+ * preserving the row total (which is a packet multiple whenever
+ * the message's transmission time is). Largest-remainder method;
+ * extra packets go to the intervals with the most room.
+ */
+void
+quantizeRow(Matrix<Time> &P, std::size_t h, const IntervalSet &ivs,
+            const std::vector<std::size_t> &active, Time packet,
+            Time guard)
+{
+    Time total = 0.0;
+    for (std::size_t k : active)
+        total += P.at(h, k);
+    const long packets_total =
+        std::lround(total / packet);
+
+    struct Cell
+    {
+        std::size_t k;
+        long floor_packets;
+        double remainder;
+        double cap_packets;
+    };
+    std::vector<Cell> cells;
+    long assigned = 0;
+    for (std::size_t k : active) {
+        const double q = P.at(h, k) / packet;
+        Cell c;
+        c.k = k;
+        c.floor_packets = static_cast<long>(std::floor(q + 1e-9));
+        c.remainder = q - static_cast<double>(c.floor_packets);
+        c.cap_packets = std::floor(
+            std::max(0.0, ivs.interval(k).length() - guard) /
+                packet +
+            1e-9);
+        cells.push_back(c);
+        assigned += c.floor_packets;
+    }
+    long leftover = packets_total - assigned;
+    std::sort(cells.begin(), cells.end(),
+              [](const Cell &a, const Cell &b) {
+                  return a.remainder > b.remainder;
+              });
+    for (Cell &c : cells) {
+        while (leftover > 0 &&
+               static_cast<double>(c.floor_packets) <
+                   c.cap_packets) {
+            ++c.floor_packets;
+            --leftover;
+            break; // one extra packet per cell per pass
+        }
+    }
+    // Any stubborn leftovers: second pass ignoring the one-per-cell
+    // rule (still capped by the interval length).
+    for (Cell &c : cells) {
+        while (leftover > 0 &&
+               static_cast<double>(c.floor_packets) <
+                   c.cap_packets) {
+            ++c.floor_packets;
+            --leftover;
+        }
+    }
+    for (const Cell &c : cells)
+        P.at(h, c.k) = static_cast<double>(c.floor_packets) *
+                       packet;
+    // If leftover packets could not be placed the totals no longer
+    // match and the scheduling stage will reject the interval; that
+    // is the correct failure path for an over-tight quantization.
+}
+
+} // namespace
+
+IntervalAllocation
+allocateMessageIntervals(const TimeBounds &bounds,
+                         const IntervalSet &intervals,
+                         const PathAssignment &pa,
+                         const std::vector<MessageSubset> &subsets,
+                         AllocationMethod method, Time guardTime,
+                         Time packetTime)
+{
+    IntervalAllocation out;
+    out.allocation =
+        Matrix<Time>(bounds.messages.size(), intervals.size(), 0.0);
+
+    for (std::size_t s = 0; s < subsets.size(); ++s) {
+        const bool ok =
+            method == AllocationMethod::Lp
+                ? allocateSubsetLp(bounds, intervals, pa, subsets[s],
+                                   guardTime, out.allocation,
+                                   out.peakLoad)
+                : allocateSubsetGreedy(bounds, intervals, pa,
+                                       subsets[s], guardTime,
+                                       out.allocation,
+                                       out.peakLoad);
+        if (!ok) {
+            out.feasible = false;
+            out.failedSubset = static_cast<int>(s);
+            return out;
+        }
+        if (packetTime > 0.0) {
+            for (std::size_t h : subsets[s].members) {
+                quantizeRow(out.allocation, h, intervals,
+                            intervals.activeIntervals(h),
+                            packetTime, guardTime);
+            }
+        }
+    }
+    out.feasible = true;
+    return out;
+}
+
+} // namespace srsim

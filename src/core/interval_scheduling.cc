@@ -1,0 +1,373 @@
+#include "core/interval_scheduling.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "solver/lp.hh"
+#include "util/logging.hh"
+
+namespace srsim {
+
+namespace {
+
+/** Conflict test: do two messages share a link? */
+bool
+conflict(const PathAssignment &pa, std::size_t a, std::size_t b)
+{
+    const auto &la = pa.pathFor(a).links;
+    const auto &lb = pa.pathFor(b).links;
+    for (LinkId l : la)
+        if (std::find(lb.begin(), lb.end(), l) != lb.end())
+            return true;
+    return false;
+}
+
+/**
+ * Bron-Kerbosch with pivoting over the *complement* of the conflict
+ * graph: maximal cliques there are maximal link-feasible sets.
+ * Vertices are positions into `members`.
+ */
+class FeasibleSetEnumerator
+{
+  public:
+    FeasibleSetEnumerator(const std::vector<std::size_t> &members,
+                          const PathAssignment &pa,
+                          std::size_t maxSets)
+        : members_(members), maxSets_(maxSets)
+    {
+        const std::size_t n = members_.size();
+        compat_.assign(n, std::vector<bool>(n, false));
+        for (std::size_t i = 0; i < n; ++i)
+            for (std::size_t j = i + 1; j < n; ++j)
+                compat_[i][j] = compat_[j][i] =
+                    !conflict(pa, members_[i], members_[j]);
+    }
+
+    std::vector<std::vector<std::size_t>>
+    run()
+    {
+        std::vector<std::size_t> r, p(members_.size()), x;
+        for (std::size_t i = 0; i < members_.size(); ++i)
+            p[i] = i;
+        expand(r, p, x);
+        return std::move(out_);
+    }
+
+  private:
+    void
+    expand(std::vector<std::size_t> &r, std::vector<std::size_t> p,
+           std::vector<std::size_t> x)
+    {
+        if (out_.size() >= maxSets_)
+            return;
+        if (p.empty() && x.empty()) {
+            std::vector<std::size_t> set;
+            set.reserve(r.size());
+            for (std::size_t v : r)
+                set.push_back(members_[v]);
+            out_.push_back(std::move(set));
+            return;
+        }
+
+        // Pivot: vertex of P u X with most neighbours in P.
+        std::size_t pivot = SIZE_MAX;
+        std::size_t best = 0;
+        auto count_nbrs = [&](std::size_t u) {
+            std::size_t c = 0;
+            for (std::size_t v : p)
+                if (compat_[u][v])
+                    ++c;
+            return c;
+        };
+        for (std::size_t u : p) {
+            const std::size_t c = count_nbrs(u);
+            if (pivot == SIZE_MAX || c > best) {
+                pivot = u;
+                best = c;
+            }
+        }
+        for (std::size_t u : x) {
+            const std::size_t c = count_nbrs(u);
+            if (pivot == SIZE_MAX || c > best) {
+                pivot = u;
+                best = c;
+            }
+        }
+
+        std::vector<std::size_t> cands;
+        for (std::size_t v : p)
+            if (pivot == SIZE_MAX || !compat_[pivot][v])
+                cands.push_back(v);
+
+        for (std::size_t v : cands) {
+            std::vector<std::size_t> np, nx;
+            for (std::size_t w : p)
+                if (compat_[v][w])
+                    np.push_back(w);
+            for (std::size_t w : x)
+                if (compat_[v][w])
+                    nx.push_back(w);
+            r.push_back(v);
+            expand(r, std::move(np), std::move(nx));
+            r.pop_back();
+            p.erase(std::find(p.begin(), p.end(), v));
+            x.push_back(v);
+            if (out_.size() >= maxSets_)
+                return;
+        }
+    }
+
+    const std::vector<std::size_t> &members_;
+    std::size_t maxSets_;
+    std::vector<std::vector<bool>> compat_;
+    std::vector<std::vector<std::size_t>> out_;
+};
+
+/** Per-interval work item: message indices and their demands. */
+struct IntervalWork
+{
+    std::vector<std::size_t> members;
+    std::vector<Time> demand;
+};
+
+/**
+ * LP scheduling of one interval. Appends segments on success.
+ * @return makespan used, or a negative value on LP failure.
+ */
+/** Round t up to a whole number of packet times (0 = identity). */
+Time
+packetCeil(Time t, Time packet)
+{
+    if (packet <= 0.0 || timeLe(t, 0.0))
+        return t;
+    const double q = std::ceil((t - kTimeEps) / packet);
+    return q * packet;
+}
+
+double
+scheduleLp(const IntervalWork &work, const PathAssignment &pa,
+           const TimeWindow &iv, std::size_t maxSets, Time guard,
+           Time packet, bool exact_mip,
+           std::vector<std::vector<TimeWindow>> &segments)
+{
+    const auto sets =
+        maximalLinkFeasibleSets(work.members, pa, maxSets);
+    SRSIM_ASSERT(!sets.empty(), "no feasible sets for a non-empty "
+                                "interval");
+
+    // In exact-packet mode the decision variables are *packet
+    // counts* per slot (the paper's integer program); otherwise
+    // they are continuous slot durations.
+    const bool mip = exact_mip && packet > 0.0;
+    const double unit = mip ? packet : 1.0;
+
+    lp::Problem prob;
+    std::vector<std::size_t> y;
+    y.reserve(sets.size());
+    for (std::size_t j = 0; j < sets.size(); ++j) {
+        y.push_back(prob.addVariable(1.0, "y" + std::to_string(j)));
+        if (mip)
+            prob.markInteger(y.back());
+    }
+
+    for (std::size_t i = 0; i < work.members.size(); ++i) {
+        lp::Constraint c;
+        for (std::size_t j = 0; j < sets.size(); ++j) {
+            if (std::find(sets[j].begin(), sets[j].end(),
+                          work.members[i]) != sets[j].end())
+                c.terms.emplace_back(y[j], 1.0);
+        }
+        SRSIM_ASSERT(!c.terms.empty(), "message in no feasible set");
+        c.rel = lp::Relation::GreaterEq;
+        c.rhs = work.demand[i] / unit;
+        prob.addConstraint(std::move(c));
+    }
+
+    lp::Solution sol = mip ? lp::solveMip(prob) : lp::solve(prob);
+    if (mip && sol.status == lp::Status::IterationLimit &&
+        !sol.values.empty()) {
+        warn("exact packet scheduling hit the node cap; using the "
+             "incumbent");
+    } else if (mip && !sol.feasible()) {
+        // Fall back to the rounded relaxation.
+        lp::Problem relax = prob;
+        sol = lp::solve(relax);
+    }
+    if (!sol.feasible() &&
+        sol.status != lp::Status::IterationLimit)
+        return -1.0;
+
+    // Synthesize the timeline: slots in set order; a message
+    // transmits in a slot only while it still has remaining demand.
+    std::vector<Time> remaining(work.members.size());
+    for (std::size_t i = 0; i < work.members.size(); ++i)
+        remaining[i] = work.demand[i];
+    auto member_pos = [&](std::size_t msg) {
+        return static_cast<std::size_t>(
+            std::find(work.members.begin(), work.members.end(),
+                      msg) -
+            work.members.begin());
+    };
+
+    Time cursor = iv.start;
+    for (std::size_t j = 0; j < sets.size(); ++j) {
+        const Time slot =
+            packetCeil(sol.values[y[j]] * unit, packet);
+        if (timeLe(slot, 0.0))
+            continue;
+        cursor += packetCeil(guard, packet); // crossbar setup
+        for (std::size_t msg : sets[j]) {
+            const std::size_t i = member_pos(msg);
+            const Time use = std::min(slot, remaining[i]);
+            if (timeLe(use, 0.0))
+                continue;
+            segments[msg].push_back(
+                TimeWindow{cursor, cursor + use});
+            remaining[i] -= use;
+        }
+        cursor += slot;
+    }
+
+    for (std::size_t i = 0; i < work.members.size(); ++i) {
+        SRSIM_ASSERT(timeLe(remaining[i], 0.0),
+                     "LP coverage left message ", work.members[i],
+                     " short by ", remaining[i]);
+    }
+    return cursor - iv.start;
+}
+
+/**
+ * Greedy list scheduling of one interval (ablation baseline):
+ * repeatedly pick a maximal conflict-free set by longest remaining
+ * demand and run it to the next completion.
+ * @return makespan used.
+ */
+double
+scheduleGreedy(const IntervalWork &work, const PathAssignment &pa,
+               const TimeWindow &iv, Time guard, Time packet,
+               std::vector<std::vector<TimeWindow>> &segments)
+{
+    std::vector<Time> remaining = work.demand;
+    Time cursor = iv.start;
+
+    while (true) {
+        // Pick messages by remaining demand, greedily compatible.
+        std::vector<std::size_t> order;
+        for (std::size_t i = 0; i < work.members.size(); ++i)
+            if (timeGt(remaining[i], 0.0))
+                order.push_back(i);
+        if (order.empty())
+            break;
+        std::sort(order.begin(), order.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      return remaining[a] > remaining[b];
+                  });
+        std::vector<std::size_t> chosen;
+        for (std::size_t i : order) {
+            bool ok = true;
+            for (std::size_t c : chosen)
+                ok = ok && !conflict(pa, work.members[i],
+                                     work.members[c]);
+            if (ok)
+                chosen.push_back(i);
+        }
+        Time slot = remaining[chosen.front()];
+        for (std::size_t i : chosen)
+            slot = std::min(slot, remaining[i]);
+        slot = packetCeil(slot, packet);
+        cursor += packetCeil(guard, packet); // crossbar setup
+        for (std::size_t i : chosen) {
+            segments[work.members[i]].push_back(
+                TimeWindow{cursor, cursor + slot});
+            remaining[i] -= slot;
+        }
+        cursor += slot;
+    }
+    return cursor - iv.start;
+}
+
+} // namespace
+
+std::vector<std::vector<std::size_t>>
+maximalLinkFeasibleSets(const std::vector<std::size_t> &members,
+                        const PathAssignment &pa,
+                        std::size_t maxSets)
+{
+    if (members.empty())
+        return {};
+    FeasibleSetEnumerator e(members, pa, maxSets);
+    auto sets = e.run();
+    if (sets.size() >= maxSets) {
+        warn("feasible-set enumeration capped at ", maxSets,
+             " sets; schedule may be conservative");
+    }
+    return sets;
+}
+
+IntervalScheduleResult
+scheduleIntervals(const TimeBounds &bounds,
+                  const IntervalSet &intervals,
+                  const PathAssignment &pa,
+                  const std::vector<MessageSubset> &subsets,
+                  const IntervalAllocation &alloc,
+                  const IntervalSchedulingOptions &opts)
+{
+    IntervalScheduleResult out;
+    out.segments.assign(bounds.messages.size(), {});
+    SRSIM_ASSERT(alloc.feasible,
+                 "cannot schedule an infeasible allocation");
+
+    for (std::size_t s = 0; s < subsets.size(); ++s) {
+        const MessageSubset &sub = subsets[s];
+        for (std::size_t k : sub.intervals) {
+            IntervalWork work;
+            for (std::size_t h : sub.members) {
+                const Time p = alloc.allocation.at(h, k);
+                if (timeGt(p, 0.0)) {
+                    work.members.push_back(h);
+                    work.demand.push_back(p);
+                }
+            }
+            if (work.members.empty())
+                continue;
+
+            const TimeWindow &iv = intervals.interval(k);
+            double used;
+            if (opts.method == SchedulingMethod::LpFeasibleSets) {
+                used = scheduleLp(work, pa, iv, opts.maxFeasibleSets,
+                                  opts.guardTime, opts.packetTime,
+                                  opts.exactPacketMip,
+                                  out.segments);
+                if (used < 0.0) {
+                    out.feasible = false;
+                    out.failedSubset = static_cast<int>(s);
+                    out.failedInterval = static_cast<int>(k);
+                    return out;
+                }
+            } else {
+                used = scheduleGreedy(work, pa, iv, opts.guardTime,
+                                      opts.packetTime,
+                                      out.segments);
+            }
+
+            if (timeGt(used, iv.length())) {
+                out.feasible = false;
+                out.failedSubset = static_cast<int>(s);
+                out.failedInterval = static_cast<int>(k);
+                out.overrun = used - iv.length();
+                return out;
+            }
+        }
+    }
+
+    for (auto &segs : out.segments) {
+        std::sort(segs.begin(), segs.end(),
+                  [](const TimeWindow &a, const TimeWindow &b) {
+                      return a.start < b.start;
+                  });
+    }
+    out.feasible = true;
+    return out;
+}
+
+} // namespace srsim

@@ -1,0 +1,74 @@
+#include "core/intervals.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace srsim {
+
+IntervalSet::IntervalSet(const TimeBounds &bounds)
+{
+    std::vector<Time> points{0.0, bounds.inputPeriod};
+    for (const MessageBounds &b : bounds.messages) {
+        for (const TimeWindow &w : b.windows) {
+            points.push_back(w.start);
+            points.push_back(w.end);
+        }
+    }
+    std::sort(points.begin(), points.end());
+    std::vector<Time> unique;
+    for (Time t : points) {
+        if (unique.empty() || !timeEq(unique.back(), t))
+            unique.push_back(t);
+    }
+    SRSIM_ASSERT(unique.size() >= 2, "degenerate frame");
+
+    for (std::size_t i = 0; i + 1 < unique.size(); ++i)
+        intervals_.push_back(TimeWindow{unique[i], unique[i + 1]});
+
+    activity_ = Matrix<int>(bounds.messages.size(), intervals_.size());
+    for (std::size_t i = 0; i < bounds.messages.size(); ++i) {
+        const MessageBounds &b = bounds.messages[i];
+        for (std::size_t k = 0; k < intervals_.size(); ++k) {
+            const TimeWindow &iv = intervals_[k];
+            // Interval boundaries are window endpoints, so testing
+            // the midpoint is exact.
+            const Time mid = 0.5 * (iv.start + iv.end);
+            activity_.at(i, k) = b.activeAt(mid) ? 1 : 0;
+        }
+    }
+}
+
+std::vector<std::size_t>
+IntervalSet::activeIntervals(std::size_t msgIdx) const
+{
+    std::vector<std::size_t> out;
+    for (std::size_t k = 0; k < intervals_.size(); ++k)
+        if (active(msgIdx, k))
+            out.push_back(k);
+    return out;
+}
+
+std::vector<std::size_t>
+IntervalSet::activeMessages(std::size_t k) const
+{
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < activity_.rows(); ++i)
+        if (active(i, k))
+            out.push_back(i);
+    return out;
+}
+
+std::size_t
+IntervalSet::intervalAt(Time t) const
+{
+    for (std::size_t k = 0; k < intervals_.size(); ++k)
+        if (intervals_[k].contains(t))
+            return k;
+    // t == frame end belongs to the last interval.
+    if (timeEq(t, intervals_.back().end))
+        return intervals_.size() - 1;
+    panic("instant ", t, " outside frame");
+}
+
+} // namespace srsim

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Frame interval decomposition and the message activity matrix A
+ * (Sec. 5.1 of the paper).
+ *
+ * The distinct release/deadline endpoints of all messages partition
+ * the frame [0, tau_in] into K non-overlapping intervals
+ * A_1..A_K; a message is "active" in A_k iff it is available for
+ * transmission throughout [t_{k-1}, t_k]. Because the interval
+ * boundaries are exactly the window endpoints, an interval is either
+ * fully inside or fully outside every message window.
+ */
+
+#ifndef SRSIM_CORE_INTERVALS_HH_
+#define SRSIM_CORE_INTERVALS_HH_
+
+#include <vector>
+
+#include "core/time_bounds.hh"
+#include "util/matrix.hh"
+#include "util/time.hh"
+
+namespace srsim {
+
+/** The interval decomposition of one frame plus activity matrix. */
+class IntervalSet
+{
+  public:
+    /** Build from message time bounds. */
+    explicit IntervalSet(const TimeBounds &bounds);
+
+    /** Number of intervals K. */
+    std::size_t size() const { return intervals_.size(); }
+
+    /** Interval A_k (0-based). */
+    const TimeWindow &interval(std::size_t k) const
+    {
+        return intervals_[k];
+    }
+
+    const std::vector<TimeWindow> &intervals() const
+    {
+        return intervals_;
+    }
+
+    /**
+     * Activity matrix entry a_ik: message index i (into
+     * TimeBounds::messages) active in interval k.
+     */
+    bool
+    active(std::size_t msgIdx, std::size_t k) const
+    {
+        return activity_.at(msgIdx, k) != 0;
+    }
+
+    /** Intervals in which message index i is active. */
+    std::vector<std::size_t> activeIntervals(std::size_t msgIdx) const;
+
+    /** Message indices active in interval k. */
+    std::vector<std::size_t> activeMessages(std::size_t k) const;
+
+    /** The interval containing frame instant t. */
+    std::size_t intervalAt(Time t) const;
+
+    /** The raw Nm x K activity matrix. */
+    const Matrix<int> &activityMatrix() const { return activity_; }
+
+  private:
+    std::vector<TimeWindow> intervals_;
+    Matrix<int> activity_;
+};
+
+} // namespace srsim
+
+#endif // SRSIM_CORE_INTERVALS_HH_

@@ -1,0 +1,305 @@
+#include "core/path_assignment.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace srsim {
+
+UtilizationAnalyzer::UtilizationAnalyzer(const TimeBounds &bounds,
+                                         const IntervalSet &intervals,
+                                         const Topology &topo)
+    : bounds_(bounds), intervals_(intervals), topo_(topo)
+{
+    const std::size_t nmsg = bounds_.messages.size();
+    durations_.resize(nmsg);
+    noSlack_.resize(nmsg);
+    activeIv_.resize(nmsg);
+    for (std::size_t i = 0; i < nmsg; ++i) {
+        durations_[i] = bounds_.messages[i].duration;
+        noSlack_[i] = bounds_.messages[i].noSlack();
+        activeIv_[i] = intervals_.activeIntervals(i);
+    }
+}
+
+double
+UtilizationAnalyzer::linkUtilization(const PathAssignment &pa,
+                                     LinkId j) const
+{
+    double demand = 0.0;
+    std::vector<bool> used(intervals_.size(), false);
+    for (std::size_t i = 0; i < bounds_.messages.size(); ++i) {
+        const Path &p = pa.pathFor(i);
+        if (std::find(p.links.begin(), p.links.end(), j) ==
+            p.links.end())
+            continue;
+        demand += durations_[i];
+        for (std::size_t k : activeIv_[i])
+            used[k] = true;
+    }
+    double avail = 0.0;
+    for (std::size_t k = 0; k < intervals_.size(); ++k)
+        if (used[k])
+            avail += intervals_.interval(k).length();
+    if (avail <= 0.0)
+        return 0.0;
+    return demand / avail;
+}
+
+double
+UtilizationAnalyzer::spotUtilization(const PathAssignment &pa,
+                                     LinkId j, std::size_t k) const
+{
+    double count = 0.0;
+    for (std::size_t i = 0; i < bounds_.messages.size(); ++i) {
+        if (!noSlack_[i] || !intervals_.active(i, k))
+            continue;
+        const Path &p = pa.pathFor(i);
+        if (std::find(p.links.begin(), p.links.end(), j) !=
+            p.links.end())
+            count += 1.0;
+    }
+    return count;
+}
+
+UtilizationReport
+UtilizationAnalyzer::analyze(const PathAssignment &pa) const
+{
+    const std::size_t nl = static_cast<std::size_t>(topo_.numLinks());
+    const std::size_t kk = intervals_.size();
+
+    // Scratch buffers, reused across calls (single-threaded).
+    scratchDemand_.assign(nl, 0.0);
+    scratchUsed_.assign(nl * kk, 0);
+    scratchSpot_.assign(nl * kk, 0);
+    scratchTouched_.clear();
+
+    for (std::size_t i = 0; i < pa.paths.size(); ++i) {
+        const bool ns = noSlack_[i];
+        for (LinkId l : pa.paths[i].links) {
+            const std::size_t lj = static_cast<std::size_t>(l);
+            if (scratchDemand_[lj] == 0.0)
+                scratchTouched_.push_back(l);
+            scratchDemand_[lj] += durations_[i];
+            for (std::size_t k : activeIv_[i]) {
+                scratchUsed_[lj * kk + k] = 1;
+                if (ns)
+                    ++scratchSpot_[lj * kk + k];
+            }
+        }
+    }
+
+    UtilizationReport rep;
+    for (LinkId j : scratchTouched_) {
+        const std::size_t lj = static_cast<std::size_t>(j);
+        double avail = 0.0;
+        for (std::size_t k = 0; k < kk; ++k)
+            if (scratchUsed_[lj * kk + k])
+                avail += intervals_.interval(k).length();
+        const double u =
+            avail > 0.0 ? scratchDemand_[lj] / avail : 0.0;
+        if (u > rep.peak) {
+            rep.peak = u;
+            rep.position = PeakPosition{false, j, 0};
+        }
+        for (std::size_t k = 0; k < kk; ++k) {
+            // A spot contributes only when it is a *hot-spot*: two
+            // or more no-slack messages pinned to one link in one
+            // interval (Def. 5.2's condition U^s_jk <= 1 violated).
+            // A single no-slack message is not contention, and
+            // counting it would pin the reported peak at 1.0
+            // whenever tau_m == tau_c.
+            const double s =
+                static_cast<double>(scratchSpot_[lj * kk + k]);
+            if (s > 1.0 && s > rep.peak) {
+                rep.peak = s;
+                rep.position = PeakPosition{true, j, k};
+            }
+        }
+    }
+    return rep;
+}
+
+namespace {
+
+/** Candidate minimal paths for every network message. */
+std::vector<std::vector<Path>>
+candidatePaths(const TaskFlowGraph &g, const Topology &topo,
+               const TaskAllocation &alloc, const TimeBounds &bounds,
+               std::size_t maxPaths)
+{
+    std::vector<std::vector<Path>> out;
+    out.reserve(bounds.messages.size());
+    for (const MessageBounds &b : bounds.messages) {
+        const Message &m = g.message(b.msg);
+        const NodeId s = alloc.nodeOf(m.src);
+        const NodeId d = alloc.nodeOf(m.dst);
+        auto paths = topo.minimalPaths(s, d, maxPaths);
+        SRSIM_ASSERT(!paths.empty(), "no path between ", s, " and ",
+                     d);
+        out.push_back(std::move(paths));
+    }
+    return out;
+}
+
+/** Message indices whose current path uses link j. */
+std::vector<std::size_t>
+messagesOnLink(const PathAssignment &pa, LinkId j)
+{
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < pa.paths.size(); ++i) {
+        const auto &links = pa.paths[i].links;
+        if (std::find(links.begin(), links.end(), j) != links.end())
+            out.push_back(i);
+    }
+    return out;
+}
+
+} // namespace
+
+PathAssignment
+lsdToMsdAssignment(const TaskFlowGraph &g, const Topology &topo,
+                   const TaskAllocation &alloc,
+                   const TimeBounds &bounds)
+{
+    PathAssignment pa;
+    pa.paths.reserve(bounds.messages.size());
+    for (const MessageBounds &b : bounds.messages) {
+        const Message &m = g.message(b.msg);
+        pa.paths.push_back(topo.routeLsdToMsd(alloc.nodeOf(m.src),
+                                              alloc.nodeOf(m.dst)));
+    }
+    return pa;
+}
+
+AssignPathsResult
+assignPaths(const TaskFlowGraph &g, const Topology &topo,
+            const TaskAllocation &alloc, const TimeBounds &bounds,
+            const IntervalSet &intervals,
+            const AssignPathsOptions &opts)
+{
+    const auto candidates = candidatePaths(g, topo, alloc, bounds,
+                                           opts.maxPathsPerMessage);
+    UtilizationAnalyzer ua(bounds, intervals, topo);
+    Rng rng(opts.seed);
+
+    auto random_assignment = [&]() {
+        PathAssignment pa;
+        pa.paths.reserve(candidates.size());
+        for (const auto &cands : candidates)
+            pa.paths.push_back(cands[rng.index(cands.size())]);
+        return pa;
+    };
+
+    AssignPathsResult result;
+    PathAssignment current = random_assignment();
+    UtilizationReport cur_rep = ua.analyze(current);
+    PathAssignment best = current;
+    UtilizationReport best_rep = cur_rep;
+
+    bool aflag = false;
+    while (!aflag) {
+        // Inner loop: iterative improvement of `current`. A sweep
+        // reroutes at most one message; repositioning moves (same
+        // peak value, different link/spot) are allowed a bounded
+        // number of times per improvement phase so the walk can
+        // escape plateaus without oscillating forever.
+        int inner = 0;
+        int repositions = 0;
+        const int repositionBudget =
+            2 * static_cast<int>(bounds.messages.size()) + 4;
+        bool iflag = true;
+        while (iflag && inner < opts.maxInnerIterations) {
+            iflag = false;
+            ++inner;
+
+            // Reroutable = multi-hop messages crossing the peak
+            // link (restricted to the peak interval for spots).
+            std::vector<std::size_t> reroutable;
+            for (std::size_t i :
+                 messagesOnLink(current, cur_rep.position.link)) {
+                if (current.paths[i].hops() < 2)
+                    continue;
+                if (cur_rep.position.isSpot &&
+                    !intervals.active(i, cur_rep.position.interval))
+                    continue;
+                if (candidates[i].size() < 2)
+                    continue;
+                reroutable.push_back(i);
+            }
+
+            double best_new_peak = cur_rep.peak;
+            std::size_t red_msg = SIZE_MAX, red_path = 0;
+            std::size_t repos_msg = SIZE_MAX, repos_path = 0;
+            UtilizationReport repos_rep;
+
+            for (std::size_t i : reroutable) {
+                const Path saved = current.paths[i];
+                for (std::size_t c = 0; c < candidates[i].size();
+                     ++c) {
+                    if (candidates[i][c] == saved)
+                        continue;
+                    current.paths[i] = candidates[i][c];
+                    const UtilizationReport rep = ua.analyze(current);
+                    if (rep.peak < best_new_peak - 1e-12) {
+                        best_new_peak = rep.peak;
+                        red_msg = i;
+                        red_path = c;
+                    } else if (repos_msg == SIZE_MAX &&
+                               rep.peak <= cur_rep.peak + 1e-12 &&
+                               !(rep.position == cur_rep.position)) {
+                        repos_msg = i;
+                        repos_path = c;
+                        repos_rep = rep;
+                    }
+                }
+                current.paths[i] = saved;
+            }
+
+            if (red_msg != SIZE_MAX) {
+                current.paths[red_msg] =
+                    candidates[red_msg][red_path];
+                cur_rep = ua.analyze(current);
+                ++result.reroutes;
+                iflag = true;
+            } else if (repos_msg != SIZE_MAX &&
+                       repositions < repositionBudget) {
+                current.paths[repos_msg] =
+                    candidates[repos_msg][repos_path];
+                cur_rep = repos_rep;
+                ++result.reroutes;
+                ++repositions;
+                iflag = true;
+            }
+        }
+
+        // Outer loop of Fig. 4: keep the best assignment seen; after
+        // a new best (by value, or same value at a new position),
+        // restart from a random assignment to escape local minima.
+        const bool better = cur_rep.peak < best_rep.peak - 1e-12;
+        const bool moved =
+            cur_rep.peak <= best_rep.peak + 1e-12 &&
+            !(cur_rep.position == best_rep.position);
+        if (better || moved) {
+            best = current;
+            best_rep = cur_rep;
+            if (result.restarts >= opts.maxRestarts) {
+                aflag = true;
+            } else {
+                current = random_assignment();
+                cur_rep = ua.analyze(current);
+                ++result.restarts;
+            }
+        } else {
+            aflag = true;
+        }
+    }
+
+    result.assignment = std::move(best);
+    result.report = best_rep;
+    return result;
+}
+
+} // namespace srsim

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Path assignment for scheduled routing (Sec. 5.1, Fig. 4).
+ *
+ * Each network message is assigned one of the multiple equivalent
+ * minimal paths between its endpoints. A candidate assignment is
+ * scored by the peak utilization
+ *     U = max( max_j U'_j , max_{j,k} U^s_jk )
+ * where U'_j is link utilization (total transmission demand on link
+ * L_j over the total time in which at least one message is active on
+ * it, Def. 5.1) and U^s_jk is spot utilization (the number of
+ * no-slack messages using L_j in interval A_k, Def. 5.2). U <= 1 is
+ * necessary for a feasible flow-control schedule to exist.
+ *
+ * AssignPaths (Fig. 4) performs iterative improvement: repeatedly
+ * reroute one multi-hop message on the peak link/spot, choosing the
+ * alternative path with the largest peak reduction (or, failing
+ * that, one that repositions the same peak value elsewhere in the
+ * link-interval space), and restart randomly to escape local minima.
+ */
+
+#ifndef SRSIM_CORE_PATH_ASSIGNMENT_HH_
+#define SRSIM_CORE_PATH_ASSIGNMENT_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/intervals.hh"
+#include "core/time_bounds.hh"
+#include "mapping/allocation.hh"
+#include "tfg/tfg.hh"
+#include "topology/topology.hh"
+
+namespace srsim {
+
+/**
+ * A complete path assignment: one route per network message, indexed
+ * like TimeBounds::messages.
+ */
+struct PathAssignment
+{
+    std::vector<Path> paths;
+
+    const Path &pathFor(std::size_t msgIdx) const
+    {
+        return paths[msgIdx];
+    }
+};
+
+/** Where the peak utilization is attained. */
+struct PeakPosition
+{
+    bool isSpot = false;
+    LinkId link = kInvalidLink;
+    /** Interval index; meaningful only when isSpot. */
+    std::size_t interval = 0;
+
+    bool
+    operator==(const PeakPosition &o) const
+    {
+        return isSpot == o.isSpot && link == o.link &&
+               (!isSpot || interval == o.interval);
+    }
+};
+
+/** Peak utilization and its position. */
+struct UtilizationReport
+{
+    double peak = 0.0;
+    PeakPosition position;
+};
+
+/**
+ * Computes link/spot utilizations of path assignments against fixed
+ * time bounds and interval decomposition.
+ */
+class UtilizationAnalyzer
+{
+  public:
+    UtilizationAnalyzer(const TimeBounds &bounds,
+                        const IntervalSet &intervals,
+                        const Topology &topo);
+
+    /** Link utilization U'_j (Def. 5.1). */
+    double linkUtilization(const PathAssignment &pa, LinkId j) const;
+
+    /** Spot utilization U^s_jk (Def. 5.2): raw no-slack count. */
+    double
+    spotUtilization(const PathAssignment &pa, LinkId j,
+                    std::size_t k) const;
+
+    /**
+     * Peak U over all links and spots, with its position.
+     *
+     * Spots contribute only when they are hot-spots (two or more
+     * no-slack messages on one link in one interval); a lone
+     * no-slack message satisfies U^s_jk <= 1 and is not contention.
+     * This matches the paper's plotted curves, which drop below 1.0
+     * even at tau_m == tau_c where a no-slack message always exists.
+     */
+    UtilizationReport analyze(const PathAssignment &pa) const;
+
+    const TimeBounds &bounds() const { return bounds_; }
+    const IntervalSet &intervals() const { return intervals_; }
+
+  private:
+    const TimeBounds &bounds_;
+    const IntervalSet &intervals_;
+    const Topology &topo_;
+
+    // Precomputed per-message data.
+    std::vector<Time> durations_;
+    std::vector<bool> noSlack_;
+    std::vector<std::vector<std::size_t>> activeIv_;
+
+    // Reusable scratch for analyze(); makes the analyzer
+    // single-threaded but keeps the hot path allocation-free.
+    mutable std::vector<double> scratchDemand_;
+    mutable std::vector<char> scratchUsed_;
+    mutable std::vector<int> scratchSpot_;
+    mutable std::vector<LinkId> scratchTouched_;
+};
+
+/** Knobs of the AssignPaths heuristic. */
+struct AssignPathsOptions
+{
+    /** Cap on enumerated minimal paths per message (0 = all). */
+    std::size_t maxPathsPerMessage = 256;
+    /** Random restarts before declaring convergence. */
+    int maxRestarts = 12;
+    /** Safety bound on reroutes within one improvement sweep. */
+    int maxInnerIterations = 2000;
+    std::uint64_t seed = 12345;
+};
+
+/** Outcome of assignPaths(). */
+struct AssignPathsResult
+{
+    PathAssignment assignment;
+    UtilizationReport report;
+    int restarts = 0;
+    int reroutes = 0;
+};
+
+/**
+ * The deterministic-routing baseline: every message takes its
+ * LSD-to-MSD path.
+ */
+PathAssignment
+lsdToMsdAssignment(const TaskFlowGraph &g, const Topology &topo,
+                   const TaskAllocation &alloc,
+                   const TimeBounds &bounds);
+
+/** Run the AssignPaths heuristic of Fig. 4. */
+AssignPathsResult
+assignPaths(const TaskFlowGraph &g, const Topology &topo,
+            const TaskAllocation &alloc, const TimeBounds &bounds,
+            const IntervalSet &intervals,
+            const AssignPathsOptions &opts = {});
+
+} // namespace srsim
+
+#endif // SRSIM_CORE_PATH_ASSIGNMENT_HH_

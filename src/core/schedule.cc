@@ -1,0 +1,104 @@
+#include "core/schedule.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace srsim {
+
+std::vector<NodeSchedule>
+deriveNodeSchedules(const TaskFlowGraph &, const Topology &topo,
+                    const TaskAllocation &alloc,
+                    const TimeBounds &bounds,
+                    const GlobalSchedule &omega)
+{
+    std::vector<NodeSchedule> out(
+        static_cast<std::size_t>(topo.numNodes()));
+    for (NodeId n = 0; n < topo.numNodes(); ++n)
+        out[static_cast<std::size_t>(n)].node = n;
+
+    for (std::size_t i = 0; i < bounds.messages.size(); ++i) {
+        const MessageBounds &b = bounds.messages[i];
+        const Path &p = omega.paths.pathFor(i);
+        (void)alloc;
+        SRSIM_ASSERT(topo.validPath(p), "invalid path in schedule");
+
+        for (const TimeWindow &w : omega.segments[i]) {
+            // Walk the path: every visited node contributes one
+            // crossbar command per window.
+            for (std::size_t hop = 0; hop < p.nodes.size(); ++hop) {
+                const NodeId node = p.nodes[hop];
+                SwitchCommand cmd;
+                cmd.span = w;
+                cmd.msg = b.msg;
+                cmd.in = hop == 0
+                             ? PortRef::ap()
+                             : PortRef::linkPort(p.links[hop - 1]);
+                cmd.out = hop + 1 == p.nodes.size()
+                              ? PortRef::ap()
+                              : PortRef::linkPort(p.links[hop]);
+                out[static_cast<std::size_t>(node)]
+                    .commands.push_back(cmd);
+            }
+        }
+    }
+
+    for (NodeSchedule &ns : out) {
+        std::sort(ns.commands.begin(), ns.commands.end(),
+                  [](const SwitchCommand &a, const SwitchCommand &b) {
+                      if (a.span.start != b.span.start)
+                          return a.span.start < b.span.start;
+                      return a.msg < b.msg;
+                  });
+    }
+    return out;
+}
+
+namespace {
+
+void
+printPort(std::ostream &os, const PortRef &p)
+{
+    if (p.kind == PortRef::Kind::ApBuffer)
+        os << "AP";
+    else
+        os << "L" << p.link;
+}
+
+} // namespace
+
+void
+printNodeSchedule(std::ostream &os, const NodeSchedule &ns,
+                  const TaskFlowGraph &g)
+{
+    os << "node " << ns.node << " switching schedule ("
+       << ns.commands.size() << " commands)\n";
+    for (const SwitchCommand &c : ns.commands) {
+        os << "  t=" << c.span.start << ".." << c.span.end << "  ";
+        printPort(os, c.in);
+        os << " -> ";
+        printPort(os, c.out);
+        os << "  msg '" << g.message(c.msg).name << "'\n";
+    }
+}
+
+bool
+isPacketAligned(const GlobalSchedule &omega, Time packetTime,
+                Time eps)
+{
+    SRSIM_ASSERT(packetTime > 0.0, "need a positive packet time");
+    auto on_grid = [&](Time t) {
+        const double q = t / packetTime;
+        return std::abs(q - std::round(q)) * packetTime <= eps;
+    };
+    if (!on_grid(omega.period))
+        return false;
+    for (const auto &segs : omega.segments)
+        for (const TimeWindow &w : segs)
+            if (!on_grid(w.start) || !on_grid(w.end))
+                return false;
+    return true;
+}
+
+} // namespace srsim

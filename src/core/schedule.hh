@@ -1,0 +1,121 @@
+/**
+ * @file
+ * The communication schedule Omega and per-node switching schedules
+ * omega_i (Sec. 4.1, 5.4).
+ *
+ * A GlobalSchedule records, for every network message, the frame
+ * time-windows in which it owns a clear path (its assigned links,
+ * all simultaneously). From it, per-node switching schedules are
+ * derived: each communication processor independently executes a
+ * list of timed crossbar commands connecting an input port (an
+ * incoming link, or the local AP's output buffer at the source) to
+ * an output port (an outgoing link, or the AP's input buffer at the
+ * destination).
+ */
+
+#ifndef SRSIM_CORE_SCHEDULE_HH_
+#define SRSIM_CORE_SCHEDULE_HH_
+
+#include <ostream>
+#include <vector>
+
+#include "core/path_assignment.hh"
+#include "core/time_bounds.hh"
+#include "mapping/allocation.hh"
+#include "tfg/tfg.hh"
+#include "topology/topology.hh"
+#include "util/time.hh"
+
+namespace srsim {
+
+/** A crossbar port: a network link or the local AP buffer. */
+struct PortRef
+{
+    enum class Kind { Link, ApBuffer };
+    Kind kind = Kind::ApBuffer;
+    LinkId link = kInvalidLink;
+
+    static PortRef
+    linkPort(LinkId l)
+    {
+        return PortRef{Kind::Link, l};
+    }
+    static PortRef ap() { return PortRef{}; }
+
+    bool
+    operator==(const PortRef &o) const
+    {
+        return kind == o.kind && (kind != Kind::Link ||
+                                  link == o.link);
+    }
+};
+
+/** One timed crossbar command of a node switching schedule. */
+struct SwitchCommand
+{
+    TimeWindow span;
+    MessageId msg = kInvalidMessage;
+    PortRef in;
+    PortRef out;
+};
+
+/** The switching schedule omega_i of one node's CP. */
+struct NodeSchedule
+{
+    NodeId node = kInvalidNode;
+    /** Commands sorted by start time. */
+    std::vector<SwitchCommand> commands;
+};
+
+/** The complete communication schedule Omega. */
+struct GlobalSchedule
+{
+    /** Frame length (the invocation period tau_in). */
+    Time period = 0.0;
+    /**
+     * Per network message index: clear-path windows in frame
+     * coordinates, sorted, non-overlapping.
+     */
+    std::vector<std::vector<TimeWindow>> segments;
+    /** The path each message's windows apply to. */
+    PathAssignment paths;
+
+    /** Total scheduled transmission time of message index i. */
+    Time
+    scheduledTime(std::size_t msgIdx) const
+    {
+        Time s = 0.0;
+        for (const TimeWindow &w : segments[msgIdx])
+            s += w.length();
+        return s;
+    }
+};
+
+/**
+ * Derive the per-node switching schedules omega_i from Omega.
+ * Every node of the topology gets a NodeSchedule (possibly empty).
+ */
+std::vector<NodeSchedule>
+deriveNodeSchedules(const TaskFlowGraph &g, const Topology &topo,
+                    const TaskAllocation &alloc,
+                    const TimeBounds &bounds,
+                    const GlobalSchedule &omega);
+
+/** Pretty-print one node schedule (for examples/debugging). */
+void
+printNodeSchedule(std::ostream &os, const NodeSchedule &ns,
+                  const TaskFlowGraph &g);
+
+/**
+ * Check that every segment boundary of Omega lies on the packet
+ * grid (Sec. 4.1's time base). Holds when the workload's task
+ * times, message times, and the input period are packet multiples
+ * and the scheduler ran with the matching packetTime.
+ */
+bool
+isPacketAligned(const GlobalSchedule &omega, Time packetTime,
+                Time eps = kTimeEps);
+
+} // namespace srsim
+
+#endif // SRSIM_CORE_SCHEDULE_HH_

@@ -1,0 +1,111 @@
+#include "core/schedule_io.hh"
+
+#include <iomanip>
+#include <sstream>
+#include <string>
+
+#include "util/logging.hh"
+
+namespace srsim {
+
+namespace {
+
+constexpr const char *kMagic = "srsim-schedule v1";
+
+std::string
+expectLine(std::istream &is, const char *what)
+{
+    std::string line;
+    if (!std::getline(is, line))
+        fatal("schedule file truncated while reading ", what);
+    return line;
+}
+
+} // namespace
+
+void
+writeSchedule(std::ostream &os, const GlobalSchedule &omega)
+{
+    os << kMagic << "\n";
+    os << std::setprecision(17);
+    os << "period " << omega.period << "\n";
+    os << "messages " << omega.segments.size() << "\n";
+    for (std::size_t i = 0; i < omega.segments.size(); ++i) {
+        const Path &p = omega.paths.pathFor(i);
+        os << "message " << i << " path";
+        for (NodeId n : p.nodes)
+            os << " " << n;
+        os << "\n";
+        os << "segments " << omega.segments[i].size() << "\n";
+        for (const TimeWindow &w : omega.segments[i])
+            os << "  " << w.start << " " << w.end << "\n";
+    }
+    os << "end\n";
+}
+
+GlobalSchedule
+readSchedule(std::istream &is, const Topology &topo)
+{
+    GlobalSchedule omega;
+
+    if (expectLine(is, "magic") != kMagic)
+        fatal("not an srsim-schedule v1 file");
+
+    {
+        std::istringstream ls(expectLine(is, "period"));
+        std::string kw;
+        ls >> kw >> omega.period;
+        if (kw != "period" || !(omega.period > 0.0))
+            fatal("bad period line in schedule file");
+    }
+
+    std::size_t nmsg = 0;
+    {
+        std::istringstream ls(expectLine(is, "message count"));
+        std::string kw;
+        ls >> kw >> nmsg;
+        if (kw != "messages")
+            fatal("bad messages line in schedule file");
+    }
+
+    omega.segments.resize(nmsg);
+    omega.paths.paths.resize(nmsg);
+    for (std::size_t i = 0; i < nmsg; ++i) {
+        {
+            std::istringstream ls(expectLine(is, "message header"));
+            std::string kw, pathkw;
+            std::size_t idx;
+            ls >> kw >> idx >> pathkw;
+            if (kw != "message" || idx != i || pathkw != "path")
+                fatal("bad message header for message ", i);
+            std::vector<NodeId> nodes;
+            NodeId n;
+            while (ls >> n)
+                nodes.push_back(n);
+            if (nodes.empty())
+                fatal("empty path for message ", i);
+            omega.paths.paths[i] = topo.makePath(nodes);
+        }
+        std::size_t nseg = 0;
+        {
+            std::istringstream ls(expectLine(is, "segment count"));
+            std::string kw;
+            ls >> kw >> nseg;
+            if (kw != "segments")
+                fatal("bad segments line for message ", i);
+        }
+        for (std::size_t s = 0; s < nseg; ++s) {
+            std::istringstream ls(expectLine(is, "segment"));
+            TimeWindow w;
+            ls >> w.start >> w.end;
+            if (ls.fail() || !timeLt(w.start, w.end))
+                fatal("bad segment ", s, " for message ", i);
+            omega.segments[i].push_back(w);
+        }
+    }
+    if (expectLine(is, "trailer") != "end")
+        fatal("missing end marker in schedule file");
+    return omega;
+}
+
+} // namespace srsim

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Serialization of communication schedules.
+ *
+ * A computed Omega is a deployment artifact: the host compiles it
+ * once and loads it into the communication processors. This module
+ * writes and reads a stable, line-oriented text form so schedules
+ * can be stored, diffed, and shipped independently of the compiler
+ * run that produced them. Paths are stored as node sequences and
+ * re-resolved against the topology on load, which re-validates
+ * adjacency.
+ */
+
+#ifndef SRSIM_CORE_SCHEDULE_IO_HH_
+#define SRSIM_CORE_SCHEDULE_IO_HH_
+
+#include <istream>
+#include <ostream>
+
+#include "core/schedule.hh"
+#include "topology/topology.hh"
+
+namespace srsim {
+
+/** Write omega in the srsim-schedule v1 text format. */
+void writeSchedule(std::ostream &os, const GlobalSchedule &omega);
+
+/**
+ * Parse a schedule written by writeSchedule().
+ *
+ * Fatal on malformed input or on paths that are not contiguous in
+ * `topo`.
+ */
+GlobalSchedule readSchedule(std::istream &is, const Topology &topo);
+
+} // namespace srsim
+
+#endif // SRSIM_CORE_SCHEDULE_IO_HH_

@@ -1,0 +1,149 @@
+#include "core/schedule_render.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <map>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace srsim {
+
+namespace {
+
+/** Stable, readable color per message index (golden-angle hues). */
+std::string
+messageColor(std::size_t idx)
+{
+    const double hue =
+        std::fmod(static_cast<double>(idx) * 137.508, 360.0);
+    std::ostringstream oss;
+    oss << "hsl(" << std::fixed << std::setprecision(1) << hue
+        << ", 65%, 55%)";
+    return oss.str();
+}
+
+std::string
+escape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        switch (c) {
+          case '&': out += "&amp;"; break;
+          case '<': out += "&lt;"; break;
+          case '>': out += "&gt;"; break;
+          default: out += c;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+void
+renderScheduleSvg(std::ostream &os, const TaskFlowGraph &g,
+                  const Topology &topo, const TimeBounds &bounds,
+                  const GlobalSchedule &omega,
+                  const RenderOptions &opts)
+{
+    SRSIM_ASSERT(omega.period > 0.0, "schedule has no period");
+
+    // Collect the links that carry traffic, in id order.
+    std::map<LinkId, std::vector<std::pair<TimeWindow,
+                                           std::size_t>>> rows;
+    for (std::size_t i = 0; i < omega.segments.size(); ++i)
+        for (LinkId l : omega.paths.pathFor(i).links)
+            for (const TimeWindow &w : omega.segments[i])
+                rows[l].emplace_back(w, i);
+
+    const int label_w = 88;
+    const int legend_h = 22 * (static_cast<int>(
+                                   omega.segments.size() + 3) /
+                               4) +
+                         8;
+    const int axis_h = 28;
+    const int chart_w = opts.width - label_w - 10;
+    const int chart_h =
+        static_cast<int>(rows.size()) * opts.rowHeight;
+    const int total_h = chart_h + axis_h + legend_h + 34;
+
+    auto xpos = [&](Time t) {
+        return label_w +
+               t / omega.period * static_cast<double>(chart_w);
+    };
+
+    os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\""
+       << opts.width << "\" height=\"" << total_h
+       << "\" font-family=\"sans-serif\" font-size=\"11\">\n";
+    os << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+
+    const std::string title =
+        opts.title.empty()
+            ? "scheduled routing: one frame of " +
+                  std::to_string(omega.period) + " us"
+            : opts.title;
+    os << "<text x=\"" << label_w << "\" y=\"14\" "
+       << "font-weight=\"bold\">" << escape(title) << "</text>\n";
+
+    const int top = 24;
+    int row = 0;
+    for (const auto &[link, segs] : rows) {
+        const int y = top + row * opts.rowHeight;
+        const Link &lk = topo.link(link);
+        os << "<text x=\"4\" y=\"" << y + opts.rowHeight - 5
+           << "\">L" << link << " (" << lk.a << "-" << lk.b
+           << ")</text>\n";
+        os << "<rect x=\"" << label_w << "\" y=\"" << y
+           << "\" width=\"" << chart_w << "\" height=\""
+           << opts.rowHeight - 2
+           << "\" fill=\"#f4f4f4\" stroke=\"#ddd\"/>\n";
+        for (const auto &[w, msg] : segs) {
+            const MessageBounds &b = bounds.messages[msg];
+            os << "<rect x=\"" << xpos(w.start) << "\" y=\""
+               << y + 1 << "\" width=\""
+               << std::max(1.0, xpos(w.end) - xpos(w.start))
+               << "\" height=\"" << opts.rowHeight - 4
+               << "\" fill=\"" << messageColor(msg)
+               << "\" stroke=\"#333\" stroke-width=\"0.4\">"
+               << "<title>" << escape(g.message(b.msg).name)
+               << " [" << w.start << ", " << w.end
+               << ") us</title></rect>\n";
+        }
+        ++row;
+    }
+
+    // Time axis with ten ticks.
+    const int ay = top + chart_h + 4;
+    os << "<line x1=\"" << label_w << "\" y1=\"" << ay
+       << "\" x2=\"" << label_w + chart_w << "\" y2=\"" << ay
+       << "\" stroke=\"#333\"/>\n";
+    for (int t = 0; t <= 10; ++t) {
+        const Time tv = omega.period * t / 10.0;
+        os << "<line x1=\"" << xpos(tv) << "\" y1=\"" << ay
+           << "\" x2=\"" << xpos(tv) << "\" y2=\"" << ay + 4
+           << "\" stroke=\"#333\"/>\n";
+        os << "<text x=\"" << xpos(tv) << "\" y=\"" << ay + 16
+           << "\" text-anchor=\"middle\">" << std::fixed
+           << std::setprecision(0) << tv << "</text>\n";
+    }
+
+    // Legend, four entries per row.
+    const int ly = ay + axis_h;
+    for (std::size_t i = 0; i < omega.segments.size(); ++i) {
+        const int cx = label_w +
+                       static_cast<int>(i % 4) *
+                           (chart_w / 4);
+        const int cy = ly + static_cast<int>(i / 4) * 22;
+        os << "<rect x=\"" << cx << "\" y=\"" << cy
+           << "\" width=\"12\" height=\"12\" fill=\""
+           << messageColor(i) << "\"/>\n";
+        os << "<text x=\"" << cx + 16 << "\" y=\"" << cy + 10
+           << "\">"
+           << escape(g.message(bounds.messages[i].msg).name)
+           << "</text>\n";
+    }
+
+    os << "</svg>\n";
+}
+
+} // namespace srsim

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * SVG rendering of communication schedules.
+ *
+ * Draws one frame [0, tau_in] of Omega as a Gantt chart: one row
+ * per link that carries traffic, one colored block per transmission
+ * segment (colored by message), with a time axis in microseconds
+ * and a legend. The picture makes the paper's core property visible
+ * at a glance — no two blocks overlap in any row — and shows how
+ * AssignPaths spreads traffic over links and time.
+ */
+
+#ifndef SRSIM_CORE_SCHEDULE_RENDER_HH_
+#define SRSIM_CORE_SCHEDULE_RENDER_HH_
+
+#include <ostream>
+#include <string>
+
+#include "core/schedule.hh"
+#include "core/time_bounds.hh"
+#include "tfg/tfg.hh"
+#include "topology/topology.hh"
+
+namespace srsim {
+
+/** Rendering knobs. */
+struct RenderOptions
+{
+    /** Chart width in pixels (time axis). */
+    int width = 960;
+    /** Height of one link row in pixels. */
+    int rowHeight = 18;
+    /** Show message release/deadline windows as hatched bands. */
+    bool showWindows = false;
+    /** Chart title; empty derives one from the period. */
+    std::string title;
+};
+
+/**
+ * Write an SVG Gantt chart of omega's link occupancy to os.
+ * Links that carry no traffic are omitted.
+ */
+void
+renderScheduleSvg(std::ostream &os, const TaskFlowGraph &g,
+                  const Topology &topo, const TimeBounds &bounds,
+                  const GlobalSchedule &omega,
+                  const RenderOptions &opts = {});
+
+} // namespace srsim
+
+#endif // SRSIM_CORE_SCHEDULE_RENDER_HH_

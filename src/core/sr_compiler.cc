@@ -1,0 +1,185 @@
+#include "core/sr_compiler.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace srsim {
+
+const char *
+srFailureStageName(SrFailureStage s)
+{
+    switch (s) {
+      case SrFailureStage::None: return "none";
+      case SrFailureStage::Utilization: return "utilization";
+      case SrFailureStage::Allocation: return "allocation";
+      case SrFailureStage::Scheduling: return "scheduling";
+      case SrFailureStage::Verification: return "verification";
+    }
+    return "unknown";
+}
+
+namespace {
+
+/**
+ * One pass of the Fig. 3 pipeline downstream of the time bounds:
+ * path assignment -> utilization gate -> subsets -> allocation ->
+ * scheduling. Fills `res` (overwriting any previous attempt) and
+ * returns true when a schedule came out.
+ */
+bool
+attemptCompile(const TaskFlowGraph &g, const Topology &topo,
+               const TaskAllocation &alloc,
+               const SrCompilerConfig &cfg,
+               const AssignPathsOptions &assign_opts,
+               SrCompileResult &res)
+{
+    const IntervalSet &ivs = *res.intervals;
+
+    if (cfg.useAssignPaths) {
+        AssignPathsResult ap = assignPaths(g, topo, alloc,
+                                           res.bounds, ivs,
+                                           assign_opts);
+        res.paths = std::move(ap.assignment);
+        res.utilization = ap.report;
+        res.assignRestarts = ap.restarts;
+        res.assignReroutes = ap.reroutes;
+    } else {
+        res.paths = lsdToMsdAssignment(g, topo, alloc, res.bounds);
+        UtilizationAnalyzer ua(res.bounds, ivs, topo);
+        res.utilization = ua.analyze(res.paths);
+    }
+
+    // Gate: U <= 1 is necessary for any feasible Omega.
+    if (res.utilization.peak > 1.0 + 1e-9) {
+        res.stage = SrFailureStage::Utilization;
+        std::ostringstream oss;
+        oss << "peak utilization " << res.utilization.peak
+            << " exceeds link capacity";
+        res.detail = oss.str();
+        return false;
+    }
+
+    // Sec. 5.2: maximal subsets, then message-interval allocation.
+    const auto subsets =
+        computeMaximalSubsets(res.bounds, ivs, res.paths);
+    res.numSubsets = subsets.size();
+
+    res.allocation = allocateMessageIntervals(
+        res.bounds, ivs, res.paths, subsets, cfg.allocMethod,
+        cfg.scheduling.guardTime, cfg.scheduling.packetTime);
+    if (!res.allocation.feasible) {
+        res.stage = SrFailureStage::Allocation;
+        std::ostringstream oss;
+        oss << "message-interval allocation failed on subset "
+            << res.allocation.failedSubset;
+        res.detail = oss.str();
+        return false;
+    }
+
+    // Sec. 5.3: interval scheduling.
+    res.schedule = scheduleIntervals(res.bounds, ivs, res.paths,
+                                     subsets, res.allocation,
+                                     cfg.scheduling);
+    if (!res.schedule.feasible) {
+        res.stage = SrFailureStage::Scheduling;
+        std::ostringstream oss;
+        oss << "interval " << res.schedule.failedInterval
+            << " of subset " << res.schedule.failedSubset
+            << " unschedulable (overrun "
+            << res.schedule.overrun << " us)";
+        res.detail = oss.str();
+        return false;
+    }
+
+    res.stage = SrFailureStage::None;
+    res.detail.clear();
+    return true;
+}
+
+} // namespace
+
+SrCompileResult
+compileScheduledRouting(const TaskFlowGraph &g, const Topology &topo,
+                        const TaskAllocation &alloc,
+                        const TimingModel &tm,
+                        const SrCompilerConfig &cfg)
+{
+    SrCompileResult res;
+
+    // Sec. 4: message time bounds in the folded frame.
+    res.bounds = computeTimeBounds(g, alloc, tm, cfg.inputPeriod);
+
+    // Degenerate but legal: everything co-located.
+    if (res.bounds.messages.empty()) {
+        res.feasible = true;
+        res.omega.period = cfg.inputPeriod;
+        return res;
+    }
+
+    // Sec. 4.1 packet time base: derive the slot quantum from the
+    // timing model when the caller did not set one explicitly, and
+    // insist that message times are whole packets (set
+    // TimingModel::packetBytes and the rounding is automatic).
+    SrCompilerConfig eff = cfg;
+    if (eff.scheduling.packetTime <= 0.0 && tm.packetBytes > 0.0)
+        eff.scheduling.packetTime = tm.packetTime();
+    if (eff.scheduling.packetTime > 0.0) {
+        for (const MessageBounds &b : res.bounds.messages) {
+            const double q = b.duration / eff.scheduling.packetTime;
+            if (std::abs(q - std::round(q)) > 1e-6) {
+                fatal("message duration ", b.duration,
+                      " us is not a whole number of packets; set "
+                      "TimingModel::packetBytes to round message "
+                      "times to the packet grid");
+            }
+        }
+    }
+
+    // Sec. 5.1: interval decomposition and activity matrix.
+    res.intervals.emplace(res.bounds);
+
+    // The Fig. 3 pipeline, with optional feedback: a failed
+    // allocation or scheduling (or utilization gate) retries with
+    // a re-seeded path assignment, moving the walk to a different
+    // region of the path space.
+    bool ok = false;
+    for (int round = 0; round <= cfg.feedbackRounds; ++round) {
+        AssignPathsOptions opts = cfg.assign;
+        opts.seed = cfg.assign.seed +
+                    static_cast<std::uint64_t>(round) * 7919;
+        ok = attemptCompile(g, topo, alloc, eff, opts, res);
+        res.feedbackRoundsUsed = round;
+        if (ok)
+            break;
+        // LSD-to-MSD paths are deterministic: feedback cannot
+        // change anything, so do not loop.
+        if (!cfg.useAssignPaths)
+            break;
+    }
+    if (!ok)
+        return res;
+
+    // Sec. 5.4: assemble Omega.
+    res.omega.period = cfg.inputPeriod;
+    res.omega.segments = res.schedule.segments;
+    res.omega.paths = res.paths;
+
+    if (cfg.verify) {
+        res.verification = verifySchedule(g, topo, alloc, res.bounds,
+                                          res.omega);
+        if (!res.verification.ok) {
+            res.stage = SrFailureStage::Verification;
+            res.detail = res.verification.violations.empty()
+                             ? "verifier rejected schedule"
+                             : res.verification.violations.front();
+            return res;
+        }
+    }
+
+    res.feasible = true;
+    return res;
+}
+
+} // namespace srsim

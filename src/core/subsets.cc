@@ -1,0 +1,51 @@
+#include "core/subsets.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/union_find.hh"
+
+namespace srsim {
+
+std::vector<MessageSubset>
+computeMaximalSubsets(const TimeBounds &bounds,
+                      const IntervalSet &intervals,
+                      const PathAssignment &pa)
+{
+    const std::size_t n = bounds.messages.size();
+    UnionFind uf(n);
+
+    // Bucket messages by (link, interval); co-occupants are related.
+    std::map<std::pair<LinkId, std::size_t>, std::size_t> first_seen;
+    for (std::size_t i = 0; i < n; ++i) {
+        for (LinkId l : pa.pathFor(i).links) {
+            for (std::size_t k : intervals.activeIntervals(i)) {
+                const auto key = std::make_pair(l, k);
+                auto [it, inserted] = first_seen.emplace(key, i);
+                if (!inserted)
+                    uf.unite(it->second, i);
+            }
+        }
+    }
+
+    std::vector<MessageSubset> out;
+    for (const auto &group : uf.groups()) {
+        MessageSubset s;
+        s.members = group;
+        std::set<LinkId> links;
+        std::set<std::size_t> ivs;
+        for (std::size_t i : group) {
+            for (LinkId l : pa.pathFor(i).links)
+                links.insert(l);
+            for (std::size_t k : intervals.activeIntervals(i))
+                ivs.insert(k);
+        }
+        s.links.assign(links.begin(), links.end());
+        s.intervals.assign(ivs.begin(), ivs.end());
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+} // namespace srsim

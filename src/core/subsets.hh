@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Maximal related subsets of messages (Defs. 5.3/5.4).
+ *
+ * Two messages are related iff they share a link and are active in a
+ * common interval, or are transitively related through a third
+ * message. The relation's transitive closure partitions S_M into
+ * disjoint maximal subsets; message-interval allocation and interval
+ * scheduling are solved independently per subset, which keeps the
+ * math programs small.
+ */
+
+#ifndef SRSIM_CORE_SUBSETS_HH_
+#define SRSIM_CORE_SUBSETS_HH_
+
+#include <vector>
+
+#include "core/intervals.hh"
+#include "core/path_assignment.hh"
+#include "core/time_bounds.hh"
+
+namespace srsim {
+
+/** One maximal related subset and the resources its messages touch. */
+struct MessageSubset
+{
+    /** Member message indices (into TimeBounds::messages). */
+    std::vector<std::size_t> members;
+    /** Union of links used by members. */
+    std::vector<LinkId> links;
+    /** Union of intervals in which members are active. */
+    std::vector<std::size_t> intervals;
+};
+
+/**
+ * Partition the network messages into maximal related subsets under
+ * the given path assignment.
+ */
+std::vector<MessageSubset>
+computeMaximalSubsets(const TimeBounds &bounds,
+                      const IntervalSet &intervals,
+                      const PathAssignment &pa);
+
+} // namespace srsim
+
+#endif // SRSIM_CORE_SUBSETS_HH_

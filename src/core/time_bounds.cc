@@ -1,0 +1,82 @@
+#include "core/time_bounds.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace srsim {
+
+namespace {
+
+/** Fold an absolute instant into [0, period). */
+Time
+foldIntoFrame(Time t, Time period)
+{
+    Time r = std::fmod(t, period);
+    if (r < 0.0)
+        r += period;
+    // Snap near-period values to zero to keep windows canonical.
+    if (timeEq(r, period))
+        r = 0.0;
+    return r;
+}
+
+} // namespace
+
+TimeBounds
+computeTimeBounds(const TaskFlowGraph &g, const TaskAllocation &alloc,
+                  const TimingModel &tm, Time inputPeriod)
+{
+    const InvocationTiming inv = computeInvocationTiming(g, tm);
+    if (timeLt(inputPeriod, inv.tauC)) {
+        fatal("input period ", inputPeriod, " is below tau_c ",
+              inv.tauC, "; the pipeline cannot keep up");
+    }
+
+    TimeBounds out;
+    out.inputPeriod = inputPeriod;
+    out.tauC = inv.tauC;
+    out.criticalPath = inv.criticalPath;
+    out.windowLatency = inv.windowLatency;
+    out.indexOf.assign(static_cast<std::size_t>(g.numMessages()), -1);
+
+    for (const Message &m : g.messages()) {
+        if (alloc.coLocated(g, m.id))
+            continue;
+
+        MessageBounds b;
+        b.msg = m.id;
+        b.duration = tm.messageTime(g, m.id);
+        b.absoluteRelease =
+            inv.windowFinish[static_cast<std::size_t>(m.src)];
+        b.release = foldIntoFrame(b.absoluteRelease, inputPeriod);
+
+        const Time d_abs = b.release + inv.tauC;
+        if (timeLe(d_abs, inputPeriod)) {
+            b.deadline = d_abs;
+            b.windows.push_back(TimeWindow{b.release, b.deadline});
+        } else {
+            // Wrapped window: [release, tau_in) and [0, d').
+            b.deadline = d_abs - inputPeriod;
+            SRSIM_ASSERT(timeLe(b.deadline, b.release),
+                         "wrapped window overlaps itself; tau_c ",
+                         inv.tauC, " > period ", inputPeriod, "?");
+            b.windows.push_back(TimeWindow{b.release, inputPeriod});
+            if (timeGt(b.deadline, 0.0))
+                b.windows.push_back(TimeWindow{0.0, b.deadline});
+        }
+
+        if (!timeLe(b.duration, b.activeTime())) {
+            fatal("message '", m.name, "' (", b.duration,
+                  " us) exceeds its tau_c window (", b.activeTime(),
+                  " us); the TFG violates tau_m <= tau_c");
+        }
+
+        out.indexOf[static_cast<std::size_t>(m.id)] =
+            static_cast<int>(out.messages.size());
+        out.messages.push_back(std::move(b));
+    }
+    return out;
+}
+
+} // namespace srsim

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Message release-times and deadlines for scheduled routing (Sec. 4).
+ *
+ * For pipelining with period tau_in >= tau_c, every message M_i is
+ * granted a transmission window as long as the longest task: it is
+ * released when its source task completes (in the canonical
+ * tau_c-window invocation schedule) and must be delivered within
+ * tau_c. Because every message recurs with period tau_in, all
+ * constraints are folded into the single frame [0, tau_in]: a window
+ * that wraps past tau_in is split into [r, tau_in) and [0, d').
+ */
+
+#ifndef SRSIM_CORE_TIME_BOUNDS_HH_
+#define SRSIM_CORE_TIME_BOUNDS_HH_
+
+#include <vector>
+
+#include "mapping/allocation.hh"
+#include "tfg/tfg.hh"
+#include "tfg/timing.hh"
+#include "util/time.hh"
+
+namespace srsim {
+
+/** Folded time bounds of one network message. */
+struct MessageBounds
+{
+    MessageId msg = kInvalidMessage;
+    /** Transmission time over one clear path. */
+    Time duration = 0.0;
+    /** Release instant folded into [0, tau_in). */
+    Time release = 0.0;
+    /** Deadline folded into (0, tau_in]; < release means wrapped. */
+    Time deadline = 0.0;
+    /** Unfolded release (canonical zeroth-invocation time). */
+    Time absoluteRelease = 0.0;
+    /** Active windows inside the frame (one, or two if wrapped). */
+    std::vector<TimeWindow> windows;
+
+    /** Total active time across the frame windows. */
+    Time
+    activeTime() const
+    {
+        Time s = 0.0;
+        for (const TimeWindow &w : windows)
+            s += w.length();
+        return s;
+    }
+
+    /** @return true if the message has no slack (Eq. (2) equality). */
+    bool noSlack() const { return timeGe(duration, activeTime()); }
+
+    /** @return true if frame instant t is inside an active window. */
+    bool
+    activeAt(Time t) const
+    {
+        for (const TimeWindow &w : windows)
+            if (w.contains(t))
+                return true;
+        return false;
+    }
+};
+
+/** Time bounds of every network message of a mapped TFG. */
+struct TimeBounds
+{
+    Time inputPeriod = 0.0;
+    Time tauC = 0.0;
+    /** Critical path length Delta (eager timing). */
+    Time criticalPath = 0.0;
+    /** Invocation latency of the canonical window schedule. */
+    Time windowLatency = 0.0;
+    /** One entry per *network* message (co-located ones excluded). */
+    std::vector<MessageBounds> messages;
+
+    /** Index into messages for a MessageId, or -1 if local. */
+    std::vector<int> indexOf;
+
+    const MessageBounds *
+    boundsFor(MessageId m) const
+    {
+        const int i = indexOf[static_cast<std::size_t>(m)];
+        return i < 0 ? nullptr
+                     : &messages[static_cast<std::size_t>(i)];
+    }
+};
+
+/**
+ * Compute folded time bounds for every network message.
+ *
+ * Fatal if inputPeriod < tau_c (the paper requires tau_in >= tau_c;
+ * otherwise the slowest task accumulates input without bound).
+ */
+TimeBounds
+computeTimeBounds(const TaskFlowGraph &g, const TaskAllocation &alloc,
+                  const TimingModel &tm, Time inputPeriod);
+
+} // namespace srsim
+
+#endif // SRSIM_CORE_TIME_BOUNDS_HH_

@@ -1,0 +1,160 @@
+#include "core/verifier.hh"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace srsim {
+
+namespace {
+
+std::string
+str(const TimeWindow &w)
+{
+    std::ostringstream oss;
+    oss << w;
+    return oss.str();
+}
+
+} // namespace
+
+VerifyResult
+verifySchedule(const TaskFlowGraph &g, const Topology &topo,
+               const TaskAllocation &alloc, const TimeBounds &bounds,
+               const GlobalSchedule &omega)
+{
+    VerifyResult res;
+
+    if (omega.segments.size() != bounds.messages.size()) {
+        res.fail("schedule covers " +
+                 std::to_string(omega.segments.size()) +
+                 " messages, bounds have " +
+                 std::to_string(bounds.messages.size()));
+        return res;
+    }
+    if (!timeEq(omega.period, bounds.inputPeriod))
+        res.fail("schedule period differs from input period");
+
+    // Per-message checks: path validity, duration, window fit.
+    for (std::size_t i = 0; i < bounds.messages.size(); ++i) {
+        const MessageBounds &b = bounds.messages[i];
+        const Message &m = g.message(b.msg);
+        const Path &p = omega.paths.pathFor(i);
+
+        if (!topo.validPath(p)) {
+            res.fail("message '" + m.name + "': invalid path");
+            continue;
+        }
+        if (p.source() != alloc.nodeOf(m.src) ||
+            p.destination() != alloc.nodeOf(m.dst)) {
+            res.fail("message '" + m.name +
+                     "': path endpoints disagree with allocation");
+        }
+
+        const Time scheduled = omega.scheduledTime(i);
+        if (!timeEq(scheduled, b.duration)) {
+            res.fail("message '" + m.name + "': scheduled " +
+                     std::to_string(scheduled) + " us, needs " +
+                     std::to_string(b.duration));
+        }
+
+        for (const TimeWindow &w : omega.segments[i]) {
+            if (w.empty()) {
+                res.fail("message '" + m.name +
+                         "': empty segment " + str(w));
+                continue;
+            }
+            if (timeLt(w.start, 0.0) ||
+                timeGt(w.end, omega.period)) {
+                res.fail("message '" + m.name + "': segment " +
+                         str(w) + " outside frame");
+            }
+            bool inside = false;
+            for (const TimeWindow &win : b.windows)
+                inside = inside || win.covers(w.start, w.end);
+            if (!inside) {
+                res.fail("message '" + m.name + "': segment " +
+                         str(w) + " violates its time bounds");
+            }
+        }
+
+        // Segments of one message must not overlap each other.
+        auto segs = omega.segments[i];
+        std::sort(segs.begin(), segs.end(),
+                  [](const TimeWindow &a, const TimeWindow &b2) {
+                      return a.start < b2.start;
+                  });
+        for (std::size_t s = 1; s < segs.size(); ++s) {
+            if (timeLt(segs[s].start, segs[s - 1].end)) {
+                res.fail("message '" + m.name +
+                         "': overlapping segments " +
+                         str(segs[s - 1]) + " and " + str(segs[s]));
+            }
+        }
+    }
+
+    // Contention-freedom: per link, collect every (window, msg) and
+    // check pairwise disjointness.
+    std::map<LinkId, std::vector<std::pair<TimeWindow, MessageId>>>
+        by_link;
+    for (std::size_t i = 0; i < bounds.messages.size(); ++i) {
+        for (LinkId l : omega.paths.pathFor(i).links)
+            for (const TimeWindow &w : omega.segments[i])
+                by_link[l].emplace_back(w, bounds.messages[i].msg);
+    }
+    for (auto &[l, wins] : by_link) {
+        std::sort(wins.begin(), wins.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.first.start < b.first.start;
+                  });
+        for (std::size_t s = 1; s < wins.size(); ++s) {
+            if (timeLt(wins[s].first.start, wins[s - 1].first.end)) {
+                res.fail(
+                    "link " + std::to_string(l) + ": messages '" +
+                    g.message(wins[s - 1].second).name + "' and '" +
+                    g.message(wins[s].second).name +
+                    "' overlap in " + str(wins[s - 1].first) +
+                    " / " + str(wins[s].first));
+            }
+        }
+    }
+
+    // Crossbar consistency on the derived node schedules: at any
+    // node, commands whose spans overlap must use distinct input
+    // ports and distinct output ports (AP buffers are per-channel,
+    // so AP<->AP pairs are exempt).
+    const auto node_scheds =
+        deriveNodeSchedules(g, topo, alloc, bounds, omega);
+    for (const NodeSchedule &ns : node_scheds) {
+        for (std::size_t a = 0; a < ns.commands.size(); ++a) {
+            for (std::size_t b2 = a + 1; b2 < ns.commands.size();
+                 ++b2) {
+                const SwitchCommand &ca = ns.commands[a];
+                const SwitchCommand &cb = ns.commands[b2];
+                if (!ca.span.overlaps(cb.span))
+                    continue;
+                if (ca.msg == cb.msg)
+                    continue;
+                const bool in_clash =
+                    ca.in == cb.in &&
+                    ca.in.kind == PortRef::Kind::Link;
+                const bool out_clash =
+                    ca.out == cb.out &&
+                    ca.out.kind == PortRef::Kind::Link;
+                if (in_clash || out_clash) {
+                    res.fail("node " + std::to_string(ns.node) +
+                             ": crossbar port conflict between "
+                             "messages '" +
+                             g.message(ca.msg).name + "' and '" +
+                             g.message(cb.msg).name + "'");
+                }
+            }
+        }
+    }
+
+    return res;
+}
+
+} // namespace srsim

@@ -1,0 +1,416 @@
+#include "cpsim/cp_simulator.hh"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <sstream>
+
+#include "sim/event_queue.hh"
+#include "util/logging.hh"
+
+namespace srsim {
+
+SeriesStats
+CpSimResult::outputIntervals(int warmup) const
+{
+    SeriesStats s;
+    for (std::size_t j = 1; j < completions.size(); ++j)
+        if (static_cast<int>(j) > warmup && completions[j] > 0.0 &&
+            completions[j - 1] > 0.0)
+            s.add(completions[j] - completions[j - 1]);
+    return s;
+}
+
+SeriesStats
+CpSimResult::latencies(int warmup) const
+{
+    SeriesStats s;
+    for (std::size_t j = 0; j < completions.size(); ++j)
+        if (static_cast<int>(j) >= warmup && completions[j] > 0.0)
+            s.add(completions[j] - starts[j]);
+    return s;
+}
+
+namespace {
+
+/** One scheduled transmission window, absolute time, one message
+ *  instance. */
+struct SegmentEvent
+{
+    std::size_t msgIdx;     ///< index into bounds.messages
+    int invocation;
+    Time start;
+    Time end;
+    bool last;              ///< final segment of the instance
+};
+
+/** Everything mutable during one simulateCps run. */
+struct CpSimState
+{
+    const TaskFlowGraph &g;
+    const Topology &topo;
+    const TaskAllocation &alloc;
+    const TimingModel &tm;
+    const TimeBounds &bounds;
+    const GlobalSchedule &omega;
+    const CpSimConfig &cfg;
+
+    EventQueue eq;
+    CpSimResult result;
+    bool aborted = false;
+
+    /** Per link: current reservation [claim, until) and claimant. */
+    struct LinkClaim
+    {
+        Time until = -1.0;
+        std::size_t msgIdx = SIZE_MAX;
+        int invocation = -1;
+    };
+    std::vector<LinkClaim> linkClaims;
+
+    /** Deposit time of (msgIdx, invocation) into the source CP's
+     *  output buffer; +inf until the AP finishes the source task. */
+    std::vector<Time> deposit;
+    /** Bytes accumulated at the destination so far. */
+    std::vector<double> bytesDone;
+
+    /** Task-instance arrival bookkeeping. */
+    std::vector<int> arrived;
+    std::vector<Time> taskFinish;
+
+    /** Per-node single-server AP. */
+    struct ApState
+    {
+        bool busy = false;
+        std::deque<std::pair<TaskId, int>> ready;
+    };
+    std::vector<ApState> aps;
+
+    std::vector<Time> outputFinish;
+    std::vector<int> outputsRemaining;
+    std::vector<bool> isOutputTask;
+
+    CpSimState(const TaskFlowGraph &g_, const Topology &topo_,
+               const TaskAllocation &alloc_, const TimingModel &tm_,
+               const TimeBounds &bounds_,
+               const GlobalSchedule &omega_, const CpSimConfig &c)
+        : g(g_), topo(topo_), alloc(alloc_), tm(tm_),
+          bounds(bounds_), omega(omega_), cfg(c)
+    {
+        const std::size_t nmi =
+            bounds.messages.size() *
+            static_cast<std::size_t>(cfg.invocations);
+        linkClaims.resize(
+            static_cast<std::size_t>(topo.numLinks()));
+        deposit.assign(nmi,
+                       std::numeric_limits<Time>::infinity());
+        bytesDone.assign(nmi, 0.0);
+        arrived.assign(static_cast<std::size_t>(g.numTasks()) *
+                           static_cast<std::size_t>(
+                               cfg.invocations),
+                       0);
+        taskFinish.assign(arrived.size(), -1.0);
+        aps.resize(static_cast<std::size_t>(topo.numNodes()));
+        outputFinish.assign(
+            static_cast<std::size_t>(cfg.invocations), 0.0);
+        outputsRemaining.assign(
+            static_cast<std::size_t>(cfg.invocations),
+            static_cast<int>(g.outputTasks().size()));
+        isOutputTask.assign(
+            static_cast<std::size_t>(g.numTasks()), false);
+        for (TaskId t : g.outputTasks())
+            isOutputTask[static_cast<std::size_t>(t)] = true;
+        result.starts.resize(
+            static_cast<std::size_t>(cfg.invocations));
+        result.completions.assign(
+            static_cast<std::size_t>(cfg.invocations), 0.0);
+    }
+
+    std::size_t
+    miIdx(std::size_t msgIdx, int j) const
+    {
+        return static_cast<std::size_t>(j) *
+                   bounds.messages.size() +
+               msgIdx;
+    }
+
+    std::size_t
+    tiIdx(TaskId t, int j) const
+    {
+        return static_cast<std::size_t>(j) *
+                   static_cast<std::size_t>(g.numTasks()) +
+               static_cast<std::size_t>(t);
+    }
+
+    void
+    violation(const std::string &why)
+    {
+        result.violations.push_back(why);
+        if (cfg.stopOnViolation)
+            aborted = true;
+    }
+
+    // ----- schedule construction -------------------------------
+
+    /** Absolute segment events of one message instance. */
+    std::vector<SegmentEvent>
+    instanceSegments(std::size_t msgIdx, int j) const
+    {
+        const MessageBounds &b = bounds.messages[msgIdx];
+        const Time release =
+            j * omega.period + b.absoluteRelease;
+        std::vector<SegmentEvent> out;
+        for (const TimeWindow &w : omega.segments[msgIdx]) {
+            const Time off = timeGe(w.start, b.release)
+                                 ? w.start - b.release
+                                 : w.start - b.release +
+                                       omega.period;
+            SegmentEvent ev;
+            ev.msgIdx = msgIdx;
+            ev.invocation = j;
+            ev.start = release + off;
+            ev.end = ev.start + w.length();
+            ev.last = false;
+            out.push_back(ev);
+        }
+        std::sort(out.begin(), out.end(),
+                  [](const SegmentEvent &a, const SegmentEvent &b2) {
+                      return a.start < b2.start;
+                  });
+        if (!out.empty())
+            out.back().last = true;
+        return out;
+    }
+
+    void
+    start()
+    {
+        // Input arrivals.
+        for (int j = 0; j < cfg.invocations; ++j) {
+            const Time t = j * omega.period;
+            result.starts[static_cast<std::size_t>(j)] = t;
+            for (TaskId task : g.inputTasks())
+                eq.schedule(t, [this, task, j] {
+                    taskReady(task, j);
+                });
+        }
+        // CP controllers: every commanded transmission window of
+        // every invocation, independently per node -- modelled by
+        // the shared segment events (each checks the state all the
+        // CPs on the path would see).
+        for (std::size_t i = 0; i < bounds.messages.size(); ++i) {
+            for (int j = 0; j < cfg.invocations; ++j) {
+                for (const SegmentEvent &ev :
+                     instanceSegments(i, j)) {
+                    eq.schedule(ev.start, [this, ev] {
+                        segmentStart(ev);
+                    });
+                    eq.schedule(ev.end, [this, ev] {
+                        segmentEnd(ev);
+                    });
+                    result.commandsExecuted +=
+                        omega.paths.pathFor(i).nodes.size();
+                }
+            }
+        }
+    }
+
+    // ----- AP model --------------------------------------------
+
+    void
+    taskReady(TaskId t, int j)
+    {
+        if (aborted)
+            return;
+        const NodeId node = alloc.nodeOf(t);
+        ApState &ap = aps[static_cast<std::size_t>(node)];
+        if (ap.busy)
+            ap.ready.emplace_back(t, j);
+        else
+            startTask(t, j);
+    }
+
+    void
+    startTask(TaskId t, int j)
+    {
+        const NodeId node = alloc.nodeOf(t);
+        aps[static_cast<std::size_t>(node)].busy = true;
+        eq.scheduleAfter(tm.taskTime(g, t),
+                         [this, t, j] { finishTask(t, j); });
+    }
+
+    void
+    finishTask(TaskId t, int j)
+    {
+        if (aborted)
+            return;
+        taskFinish[tiIdx(t, j)] = eq.now();
+        if (isOutputTask[static_cast<std::size_t>(t)])
+            outputDone(j);
+
+        for (MessageId m : g.outgoing(t)) {
+            const int bi =
+                bounds.indexOf[static_cast<std::size_t>(m)];
+            if (bi < 0) {
+                // Local delivery through the node's buffers.
+                arriveAt(g.message(m).dst, j);
+            } else {
+                // Deposit into the CP output buffer.
+                deposit[miIdx(static_cast<std::size_t>(bi), j)] =
+                    eq.now();
+            }
+        }
+
+        const NodeId node = alloc.nodeOf(t);
+        ApState &ap = aps[static_cast<std::size_t>(node)];
+        ap.busy = false;
+        if (!ap.ready.empty()) {
+            auto [nt, nj] = ap.ready.front();
+            ap.ready.pop_front();
+            startTask(nt, nj);
+        }
+    }
+
+    void
+    arriveAt(TaskId t, int j)
+    {
+        int &cnt = arrived[tiIdx(t, j)];
+        ++cnt;
+        if (cnt == static_cast<int>(g.incoming(t).size()))
+            taskReady(t, j);
+    }
+
+    void
+    outputDone(int j)
+    {
+        const std::size_t ji = static_cast<std::size_t>(j);
+        outputFinish[ji] = std::max(outputFinish[ji], eq.now());
+        if (--outputsRemaining[ji] == 0)
+            result.completions[ji] = outputFinish[ji];
+    }
+
+    // ----- CP / link model -------------------------------------
+
+    void
+    segmentStart(const SegmentEvent &ev)
+    {
+        if (aborted)
+            return;
+        const Path &p = omega.paths.pathFor(ev.msgIdx);
+        const Message &m =
+            g.message(bounds.messages[ev.msgIdx].msg);
+        for (LinkId l : p.links) {
+            LinkClaim &c = linkClaims[static_cast<std::size_t>(l)];
+            if (timeLt(eq.now(), c.until) &&
+                !(c.msgIdx == ev.msgIdx &&
+                  c.invocation == ev.invocation)) {
+                std::ostringstream oss;
+                oss << "link " << l << " double-booked at t="
+                    << eq.now() << ": '" << m.name << "'@inv"
+                    << ev.invocation << " vs message index "
+                    << c.msgIdx << "@inv" << c.invocation;
+                violation(oss.str());
+                if (aborted)
+                    return;
+                continue;
+            }
+            c.until = ev.end;
+            c.msgIdx = ev.msgIdx;
+            c.invocation = ev.invocation;
+        }
+    }
+
+    void
+    segmentEnd(const SegmentEvent &ev)
+    {
+        if (aborted)
+            return;
+        const std::size_t mi = miIdx(ev.msgIdx, ev.invocation);
+        const Message &m =
+            g.message(bounds.messages[ev.msgIdx].msg);
+
+        // Premature-setup check: the data must have been in the
+        // source CP's output buffer when the window opened.
+        if (timeGt(deposit[mi], ev.start)) {
+            std::ostringstream oss;
+            oss << "message '" << m.name << "'@inv"
+                << ev.invocation << " transmitted at t="
+                << ev.start << " before its data was ready (AP "
+                << "deposit at "
+                << (deposit[mi] ==
+                            std::numeric_limits<Time>::infinity()
+                        ? -1.0
+                        : deposit[mi])
+                << ")";
+            violation(oss.str());
+            if (aborted)
+                return;
+        }
+
+        bytesDone[mi] += (ev.end - ev.start) * tm.bandwidth;
+
+        if (!ev.last)
+            return;
+
+        // Byte conservation at delivery.
+        if (std::abs(bytesDone[mi] - m.bytes) >
+            tm.bandwidth * kTimeEps * 10.0 + 1e-6) {
+            std::ostringstream oss;
+            oss << "message '" << m.name << "'@inv"
+                << ev.invocation << " delivered "
+                << bytesDone[mi] << " of " << m.bytes << " bytes";
+            violation(oss.str());
+            if (aborted)
+                return;
+        }
+
+        // Deadline check: delivery within tau_c of availability.
+        const MessageBounds &b = bounds.messages[ev.msgIdx];
+        const Time release =
+            ev.invocation * omega.period + b.absoluteRelease;
+        if (timeGt(eq.now(), release + bounds.tauC)) {
+            std::ostringstream oss;
+            oss << "message '" << m.name << "'@inv"
+                << ev.invocation << " missed its deadline by "
+                << eq.now() - (release + bounds.tauC) << " us";
+            violation(oss.str());
+            if (aborted)
+                return;
+        }
+
+        arriveAt(m.dst, ev.invocation);
+    }
+};
+
+} // namespace
+
+CpSimResult
+simulateCps(const TaskFlowGraph &g, const Topology &topo,
+            const TaskAllocation &alloc, const TimingModel &tm,
+            const TimeBounds &bounds, const GlobalSchedule &omega,
+            const CpSimConfig &cfg)
+{
+    if (cfg.invocations <= cfg.warmup)
+        fatal("need more invocations than warmup");
+    if (omega.segments.size() != bounds.messages.size())
+        fatal("schedule does not match the time bounds");
+
+    CpSimState st(g, topo, alloc, tm, bounds, omega, cfg);
+    st.start();
+    st.eq.run();
+
+    // Invocations that never completed (possible under injected
+    // corruption) are reported.
+    for (int j = 0; j < cfg.invocations; ++j) {
+        if (st.result.completions[static_cast<std::size_t>(j)] <=
+                0.0 &&
+            !st.aborted) {
+            std::ostringstream oss;
+            oss << "invocation " << j << " never completed";
+            st.result.violations.push_back(oss.str());
+        }
+    }
+    return std::move(st.result);
+}
+
+} // namespace srsim

@@ -1,0 +1,176 @@
+#include "exp/experiment.hh"
+
+#include <algorithm>
+
+#include "core/intervals.hh"
+#include "core/sr_executor.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+namespace srsim {
+
+std::vector<Time>
+loadSweepPeriods(Time tauC, const ExperimentConfig &cfg)
+{
+    SRSIM_ASSERT(cfg.numLoadPoints >= 2, "need at least two points");
+    std::vector<Time> out;
+    for (int i = 0; i < cfg.numLoadPoints; ++i) {
+        const double f =
+            1.0 + (cfg.maxPeriodFactor - 1.0) *
+                      (static_cast<double>(i) /
+                       (cfg.numLoadPoints - 1));
+        out.push_back(tauC * f);
+    }
+    return out;
+}
+
+std::vector<UtilizationPoint>
+runUtilizationExperiment(const TaskFlowGraph &g, const Topology &topo,
+                         const TaskAllocation &alloc,
+                         const TimingModel &tm,
+                         const ExperimentConfig &cfg)
+{
+    const Time tau_c = tm.tauC(g);
+    std::vector<UtilizationPoint> out;
+
+    for (Time period : loadSweepPeriods(tau_c, cfg)) {
+        UtilizationPoint pt;
+        pt.inputPeriod = period;
+        pt.load = tau_c / period;
+
+        const TimeBounds bounds =
+            computeTimeBounds(g, alloc, tm, period);
+        const IntervalSet ivs(bounds);
+        UtilizationAnalyzer ua(bounds, ivs, topo);
+
+        pt.uLsdToMsd =
+            ua.analyze(lsdToMsdAssignment(g, topo, alloc, bounds))
+                .peak;
+        pt.uAssignPaths = assignPaths(g, topo, alloc, bounds, ivs,
+                                      cfg.sr.assign)
+                              .report.peak;
+        out.push_back(pt);
+    }
+    std::reverse(out.begin(), out.end()); // ascending load
+    return out;
+}
+
+std::vector<LoadPoint>
+runThroughputExperiment(const TaskFlowGraph &g, const Topology &topo,
+                        const TaskAllocation &alloc,
+                        const TimingModel &tm,
+                        const ExperimentConfig &cfg)
+{
+    const Time tau_c = tm.tauC(g);
+    const InvocationTiming canon = computeInvocationTiming(g, tm);
+    const Time delta = canon.criticalPath;
+
+    std::vector<LoadPoint> out;
+    for (Time period : loadSweepPeriods(tau_c, cfg)) {
+        LoadPoint pt;
+        pt.inputPeriod = period;
+        pt.load = tau_c / period;
+
+        // --- Wormhole routing: simulate.
+        WormholeSimulator wsim(g, topo, alloc, tm);
+        WormholeConfig wcfg;
+        wcfg.inputPeriod = period;
+        wcfg.invocations = cfg.invocations;
+        wcfg.warmup = cfg.warmup;
+        const WormholeResult wr = wsim.run(wcfg);
+        pt.wrDeadlocked = wr.deadlocked;
+        pt.wrInconsistent = wr.outputInconsistent(cfg.warmup);
+        if (!wr.deadlocked) {
+            const SeriesStats thr = wr.outputIntervals(cfg.warmup);
+            const SeriesStats lat = wr.latencies(cfg.warmup);
+            // Normalized throughput tau_in / tau_out: the *min*
+            // output interval yields the max throughput spike.
+            pt.wrThrMin = period / thr.max();
+            pt.wrThrAvg = period / thr.mean();
+            pt.wrThrMax = period / thr.min();
+            pt.wrLatMin = lat.min() / delta;
+            pt.wrLatAvg = lat.mean() / delta;
+            pt.wrLatMax = lat.max() / delta;
+        }
+
+        // --- Scheduled routing: compile (and execute if feasible).
+        SrCompilerConfig scfg = cfg.sr;
+        scfg.inputPeriod = period;
+        const SrCompileResult sr = compileScheduledRouting(
+            g, topo, alloc, tm, scfg);
+        pt.srStage = sr.stage;
+        pt.srPeakU = sr.utilization.peak;
+        pt.srFeasible = sr.feasible;
+        if (sr.feasible) {
+            const SrExecutionResult ex = executeSchedule(
+                g, alloc, tm, sr.bounds, sr.omega,
+                cfg.invocations);
+            SRSIM_ASSERT(ex.consistent(cfg.warmup),
+                         "verified schedule must give constant "
+                         "throughput");
+            pt.srThroughput =
+                period / ex.outputIntervals(cfg.warmup).mean();
+            pt.srLatency =
+                ex.latencies(cfg.warmup).mean() / delta;
+        }
+        out.push_back(pt);
+    }
+    std::reverse(out.begin(), out.end()); // ascending load
+    return out;
+}
+
+void
+printUtilizationSeries(std::ostream &os, const std::string &title,
+                       const std::vector<UtilizationPoint> &points)
+{
+    os << title << "\n";
+    Table t({"load", "U (LSD to MSD)", "U (AssignPaths final)",
+             "SR attemptable"});
+    for (const UtilizationPoint &p : points) {
+        t.addRow({Table::num(p.load), Table::num(p.uLsdToMsd),
+                  Table::num(p.uAssignPaths),
+                  p.uAssignPaths <= 1.0 + 1e-9 ? "yes" : "no"});
+    }
+    t.print(os);
+    os << "\n";
+}
+
+void
+printThroughputSeries(std::ostream &os, const std::string &title,
+                      const std::vector<LoadPoint> &points)
+{
+    os << title << "\n";
+    Table t({"load", "thr,wh min/avg/max", "lat,wh min/avg/max",
+             "OI(wh)", "thr,sch", "lat,sch", "sch status"});
+    for (const LoadPoint &p : points) {
+        std::string wr_thr, wr_lat, oi;
+        if (p.wrDeadlocked) {
+            wr_thr = wr_lat = "deadlock";
+            oi = "yes";
+        } else {
+            wr_thr = Table::num(p.wrThrMin, 3) + "/" +
+                     Table::num(p.wrThrAvg, 3) + "/" +
+                     Table::num(p.wrThrMax, 3);
+            wr_lat = Table::num(p.wrLatMin, 3) + "/" +
+                     Table::num(p.wrLatAvg, 3) + "/" +
+                     Table::num(p.wrLatMax, 3);
+            oi = p.wrInconsistent ? "yes" : "no";
+        }
+        std::string sthr, slat, status;
+        if (p.srFeasible) {
+            sthr = Table::num(p.srThroughput, 3);
+            slat = Table::num(p.srLatency, 3);
+            status = "feasible";
+        } else {
+            sthr = slat = "-";
+            status = std::string("fail:") +
+                     srFailureStageName(p.srStage);
+        }
+        t.addRow({Table::num(p.load, 4), wr_thr, wr_lat, oi, sthr,
+                  slat, status});
+    }
+    t.print(os);
+    os << "\n";
+}
+
+} // namespace srsim

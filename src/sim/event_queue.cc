@@ -1,0 +1,50 @@
+#include "sim/event_queue.hh"
+
+#include "util/logging.hh"
+
+namespace srsim {
+
+void
+EventQueue::schedule(Time t, Callback fn)
+{
+    SRSIM_ASSERT(timeGe(t, now_), "scheduling into the past: ", t,
+                 " < ", now_);
+    events_.push(Event{t, seq_++, std::move(fn)});
+}
+
+bool
+EventQueue::runNext()
+{
+    if (events_.empty())
+        return false;
+    // priority_queue::top() is const; move out via const_cast is the
+    // standard idiom but copying the callback keeps this simple and
+    // safe.
+    Event ev = events_.top();
+    events_.pop();
+    now_ = ev.time;
+    ev.fn();
+    return true;
+}
+
+std::uint64_t
+EventQueue::run(std::uint64_t limit)
+{
+    std::uint64_t n = 0;
+    while (n < limit && runNext())
+        ++n;
+    return n;
+}
+
+std::uint64_t
+EventQueue::runUntil(Time until)
+{
+    std::uint64_t n = 0;
+    while (!events_.empty() && timeLe(events_.top().time, until)) {
+        runNext();
+        ++n;
+    }
+    return n;
+}
+
+} // namespace srsim

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Online statistics used by the experiment harness.
+ *
+ * The paper's Figs. 7-10 plot, per load point, the minimum, average,
+ * and maximum of the output-generation interval (and latency) over
+ * many invocations — the "spikes" that mark output inconsistency.
+ * SeriesStats accumulates exactly that triple.
+ */
+
+#ifndef SRSIM_SIM_STATS_HH_
+#define SRSIM_SIM_STATS_HH_
+
+#include <cstddef>
+#include <limits>
+
+#include "util/logging.hh"
+#include "util/time.hh"
+
+namespace srsim {
+
+/** Running min/mean/max accumulator. */
+class SeriesStats
+{
+  public:
+    void
+    add(double v)
+    {
+        if (count_ == 0) {
+            min_ = max_ = v;
+        } else {
+            if (v < min_)
+                min_ = v;
+            if (v > max_)
+                max_ = v;
+        }
+        sum_ += v;
+        ++count_;
+    }
+
+    std::size_t count() const { return count_; }
+
+    double
+    min() const
+    {
+        SRSIM_ASSERT(count_ > 0, "min of empty series");
+        return min_;
+    }
+
+    double
+    max() const
+    {
+        SRSIM_ASSERT(count_ > 0, "max of empty series");
+        return max_;
+    }
+
+    double
+    mean() const
+    {
+        SRSIM_ASSERT(count_ > 0, "mean of empty series");
+        return sum_ / static_cast<double>(count_);
+    }
+
+    /** Spread max - min; zero for constant series. */
+    double spread() const { return max() - min(); }
+
+    /** @return true if every sample equals every other within eps. */
+    bool
+    constant(double eps = kTimeEps) const
+    {
+        return count_ > 0 && (max_ - min_) <= eps;
+    }
+
+  private:
+    std::size_t count_ = 0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+    double sum_ = 0.0;
+};
+
+} // namespace srsim
+
+#endif // SRSIM_SIM_STATS_HH_

@@ -1,0 +1,482 @@
+#include "solver/lp.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hh"
+#include "util/matrix.hh"
+
+namespace srsim {
+namespace lp {
+
+const char *
+statusName(Status s)
+{
+    switch (s) {
+      case Status::Optimal: return "optimal";
+      case Status::Infeasible: return "infeasible";
+      case Status::Unbounded: return "unbounded";
+      case Status::IterationLimit: return "iteration-limit";
+    }
+    return "unknown";
+}
+
+std::size_t
+Problem::addVariable(double cost, std::string name)
+{
+    costs_.push_back(cost);
+    if (name.empty())
+        name = "x" + std::to_string(costs_.size() - 1);
+    names_.push_back(std::move(name));
+    integer_.push_back(false);
+    return costs_.size() - 1;
+}
+
+void
+Problem::markInteger(std::size_t i)
+{
+    SRSIM_ASSERT(i < integer_.size(), "markInteger out of range");
+    integer_[i] = true;
+}
+
+bool
+Problem::hasIntegers() const
+{
+    for (bool b : integer_)
+        if (b)
+            return true;
+    return false;
+}
+
+void
+Problem::addConstraint(Constraint c)
+{
+    for (const auto &[idx, coeff] : c.terms) {
+        SRSIM_ASSERT(idx < costs_.size(),
+                     "constraint references unknown variable ", idx);
+        (void)coeff;
+    }
+    constraints_.push_back(std::move(c));
+}
+
+namespace {
+
+/**
+ * Dense simplex tableau in standard equality form.
+ *
+ * Layout: rows 0..m-1 are constraints, row m is the phase objective.
+ * Columns 0..n-1 are variables (structural, then slack/surplus, then
+ * artificial), column n is the RHS.
+ */
+class Tableau
+{
+  public:
+    Tableau(std::size_t m, std::size_t n)
+        : m_(m), n_(n), t_(m + 1, n + 1, 0.0), basis_(m, 0)
+    {}
+
+    std::size_t m() const { return m_; }
+    std::size_t n() const { return n_; }
+
+    double &at(std::size_t r, std::size_t c) { return t_(r, c); }
+    double at(std::size_t r, std::size_t c) const { return t_(r, c); }
+
+    double &rhs(std::size_t r) { return t_(r, n_); }
+    double rhs(std::size_t r) const { return t_(r, n_); }
+
+    double &obj(std::size_t c) { return t_(m_, c); }
+    double obj(std::size_t c) const { return t_(m_, c); }
+
+    double &objValue() { return t_(m_, n_); }
+    double objValue() const { return t_(m_, n_); }
+
+    std::size_t basis(std::size_t r) const { return basis_[r]; }
+    void setBasis(std::size_t r, std::size_t col) { basis_[r] = col; }
+
+    /** Gauss-Jordan pivot on (row, col). */
+    void
+    pivot(std::size_t row, std::size_t col)
+    {
+        const double pv = t_(row, col);
+        SRSIM_ASSERT(std::abs(pv) > 1e-12, "degenerate pivot element");
+        const double inv = 1.0 / pv;
+        for (std::size_t c = 0; c <= n_; ++c)
+            t_(row, c) *= inv;
+        t_(row, col) = 1.0;
+        for (std::size_t r = 0; r <= m_; ++r) {
+            if (r == row)
+                continue;
+            const double f = t_(r, col);
+            if (f == 0.0)
+                continue;
+            for (std::size_t c = 0; c <= n_; ++c)
+                t_(r, c) -= f * t_(row, c);
+            t_(r, col) = 0.0;
+        }
+        basis_[row] = col;
+    }
+
+  private:
+    std::size_t m_;
+    std::size_t n_;
+    Matrix<double> t_;
+    std::vector<std::size_t> basis_;
+};
+
+/**
+ * Run primal simplex iterations on a tableau whose objective row holds
+ * reduced costs for a minimization problem.
+ *
+ * @param allowedCols columns eligible to enter the basis
+ * @return resulting status (Optimal means reduced costs >= 0)
+ */
+Status
+iterate(Tableau &tab, const std::vector<bool> &allowedCols,
+        const SolveOptions &opts, std::size_t &iterationBudget)
+{
+    const double eps = opts.eps;
+    double last_obj = tab.objValue();
+    std::size_t stall = 0;
+    bool bland = false;
+
+    while (true) {
+        if (iterationBudget == 0)
+            return Status::IterationLimit;
+
+        // Pricing: pick entering column with negative reduced cost.
+        std::size_t enter = tab.n();
+        if (bland) {
+            for (std::size_t c = 0; c < tab.n(); ++c) {
+                if (allowedCols[c] && tab.obj(c) < -eps) {
+                    enter = c;
+                    break;
+                }
+            }
+        } else {
+            double best = -eps;
+            for (std::size_t c = 0; c < tab.n(); ++c) {
+                if (allowedCols[c] && tab.obj(c) < best) {
+                    best = tab.obj(c);
+                    enter = c;
+                }
+            }
+        }
+        if (enter == tab.n())
+            return Status::Optimal;
+
+        // Ratio test: pick leaving row.
+        std::size_t leave = tab.m();
+        double best_ratio = std::numeric_limits<double>::infinity();
+        for (std::size_t r = 0; r < tab.m(); ++r) {
+            const double a = tab.at(r, enter);
+            if (a > eps) {
+                const double ratio = tab.rhs(r) / a;
+                if (ratio < best_ratio - eps ||
+                    (ratio < best_ratio + eps &&
+                     (leave == tab.m() ||
+                      tab.basis(r) < tab.basis(leave)))) {
+                    best_ratio = ratio;
+                    leave = r;
+                }
+            }
+        }
+        if (leave == tab.m())
+            return Status::Unbounded;
+
+        tab.pivot(leave, enter);
+        --iterationBudget;
+
+        // Switch to Bland's rule if the objective stops improving, to
+        // guarantee termination under degeneracy.
+        if (std::abs(tab.objValue() - last_obj) < eps) {
+            if (++stall > 2 * (tab.m() + tab.n()))
+                bland = true;
+        } else {
+            stall = 0;
+            last_obj = tab.objValue();
+        }
+    }
+}
+
+} // namespace
+
+Solution
+solve(const Problem &p, const SolveOptions &opts)
+{
+    const std::size_t n_struct = p.numVariables();
+    const std::size_t m = p.numConstraints();
+    const double eps = opts.eps;
+
+    // Count slack and artificial columns. Rows are normalized to have
+    // non-negative RHS first; then:
+    //   <=  : +slack (basic if rhs normalization kept the sense)
+    //   >=  : -surplus +artificial
+    //   ==  : +artificial
+    struct RowPlan
+    {
+        Relation rel;
+        double sign;    // +1 if row kept, -1 if multiplied through
+    };
+    std::vector<RowPlan> plan(m);
+    std::size_t n_slack = 0;
+    std::size_t n_art = 0;
+    for (std::size_t i = 0; i < m; ++i) {
+        const Constraint &c = p.constraints()[i];
+        Relation rel = c.rel;
+        double sign = 1.0;
+        if (c.rhs < 0.0) {
+            sign = -1.0;
+            if (rel == Relation::LessEq)
+                rel = Relation::GreaterEq;
+            else if (rel == Relation::GreaterEq)
+                rel = Relation::LessEq;
+        }
+        plan[i] = {rel, sign};
+        if (rel != Relation::Equal)
+            ++n_slack;
+        if (rel != Relation::LessEq)
+            ++n_art;
+    }
+
+    const std::size_t n_total = n_struct + n_slack + n_art;
+    Tableau tab(m, n_total);
+
+    // Fill constraint rows.
+    std::size_t slack_col = n_struct;
+    std::size_t art_col = n_struct + n_slack;
+    std::vector<std::size_t> art_cols;
+    art_cols.reserve(n_art);
+    for (std::size_t i = 0; i < m; ++i) {
+        const Constraint &c = p.constraints()[i];
+        const RowPlan &pl = plan[i];
+        for (const auto &[idx, coeff] : c.terms)
+            tab.at(i, idx) += pl.sign * coeff;
+        tab.rhs(i) = pl.sign * c.rhs;
+
+        switch (pl.rel) {
+          case Relation::LessEq:
+            tab.at(i, slack_col) = 1.0;
+            tab.setBasis(i, slack_col);
+            ++slack_col;
+            break;
+          case Relation::GreaterEq:
+            tab.at(i, slack_col) = -1.0;
+            ++slack_col;
+            tab.at(i, art_col) = 1.0;
+            tab.setBasis(i, art_col);
+            art_cols.push_back(art_col);
+            ++art_col;
+            break;
+          case Relation::Equal:
+            tab.at(i, art_col) = 1.0;
+            tab.setBasis(i, art_col);
+            art_cols.push_back(art_col);
+            ++art_col;
+            break;
+        }
+    }
+
+    std::size_t budget = opts.maxIterations;
+    std::vector<bool> allowed(n_total, true);
+
+    Solution sol;
+
+    // Phase 1: minimize sum of artificials (skip if none).
+    if (n_art > 0) {
+        for (std::size_t c : art_cols)
+            tab.obj(c) = 1.0;
+        // Make reduced costs consistent with the artificial basis.
+        for (std::size_t r = 0; r < m; ++r) {
+            const std::size_t b = tab.basis(r);
+            if (tab.obj(b) != 0.0) {
+                const double f = tab.obj(b);
+                for (std::size_t c = 0; c <= n_total; ++c)
+                    tab.obj(c) -= f * tab.at(r, c);
+            }
+        }
+
+        Status st = iterate(tab, allowed, opts, budget);
+        if (st == Status::IterationLimit) {
+            sol.status = st;
+            return sol;
+        }
+        // Phase-1 objective value is -sum(artificials) in the tableau's
+        // objective cell (we maintain obj row as reduced costs with
+        // value at rhs being -z).
+        const double art_sum = -tab.objValue();
+        if (art_sum > 1e-6) {
+            sol.status = Status::Infeasible;
+            return sol;
+        }
+
+        // Drive any artificial still in the basis out (degenerate).
+        for (std::size_t r = 0; r < m; ++r) {
+            const std::size_t b = tab.basis(r);
+            const bool is_art =
+                std::find(art_cols.begin(), art_cols.end(), b) !=
+                art_cols.end();
+            if (!is_art)
+                continue;
+            std::size_t piv = n_total;
+            for (std::size_t c = 0; c < n_struct + n_slack; ++c) {
+                if (std::abs(tab.at(r, c)) > eps) {
+                    piv = c;
+                    break;
+                }
+            }
+            if (piv != n_total) {
+                tab.pivot(r, piv);
+            }
+            // If no pivot exists the row is all-zero (redundant);
+            // the artificial stays basic at value zero, harmless.
+        }
+
+        // Forbid artificials from re-entering.
+        for (std::size_t c : art_cols)
+            allowed[c] = false;
+    }
+
+    // Phase 2: install the true objective as reduced costs.
+    for (std::size_t c = 0; c <= n_total; ++c)
+        tab.obj(c) = 0.0;
+    for (std::size_t c = 0; c < n_struct; ++c)
+        tab.obj(c) = p.costs()[c];
+    for (std::size_t r = 0; r < m; ++r) {
+        const std::size_t b = tab.basis(r);
+        if (tab.obj(b) != 0.0) {
+            const double f = tab.obj(b);
+            for (std::size_t c = 0; c <= n_total; ++c)
+                tab.obj(c) -= f * tab.at(r, c);
+        }
+    }
+
+    Status st = iterate(tab, allowed, opts, budget);
+    if (st != Status::Optimal) {
+        sol.status = st;
+        return sol;
+    }
+
+    sol.status = Status::Optimal;
+    sol.objective = -tab.objValue();
+    sol.values.assign(n_struct, 0.0);
+    for (std::size_t r = 0; r < m; ++r) {
+        const std::size_t b = tab.basis(r);
+        if (b < n_struct)
+            sol.values[b] = std::max(0.0, tab.rhs(r));
+    }
+    return sol;
+}
+
+namespace {
+
+/** One branch-and-bound bound: var <= value or var >= value. */
+struct Branch
+{
+    std::size_t var;
+    bool upper;   // true: var <= value, false: var >= value
+    double value;
+};
+
+/** Solve p plus the branch bounds. */
+Solution
+solveWithBranches(const Problem &p,
+                  const std::vector<Branch> &branches,
+                  const SolveOptions &opts)
+{
+    Problem aug = p;
+    for (const Branch &b : branches) {
+        aug.addConstraint({{b.var, 1.0}},
+                          b.upper ? Relation::LessEq
+                                  : Relation::GreaterEq,
+                          b.value);
+    }
+    return solve(aug, opts);
+}
+
+} // namespace
+
+Solution
+solveMip(const Problem &p, const MipOptions &opts)
+{
+    if (!p.hasIntegers())
+        return solve(p, opts.lp);
+
+    Solution best;
+    best.status = Status::Infeasible;
+    double best_obj = std::numeric_limits<double>::infinity();
+    bool capped = false;
+
+    // Depth-first stack of branch sets.
+    std::vector<std::vector<Branch>> stack{{}};
+    std::size_t nodes = 0;
+
+    while (!stack.empty()) {
+        if (nodes++ >= opts.maxNodes) {
+            capped = true;
+            break;
+        }
+        const std::vector<Branch> branches = std::move(stack.back());
+        stack.pop_back();
+
+        const Solution rel = solveWithBranches(p, branches,
+                                               opts.lp);
+        if (rel.status == Status::Unbounded) {
+            // An unbounded relaxation at the root means the MIP is
+            // unbounded too (branching only tightens).
+            if (branches.empty())
+                return rel;
+            continue;
+        }
+        if (rel.status != Status::Optimal)
+            continue; // infeasible subtree (or iteration trouble)
+        if (rel.objective >= best_obj - opts.lp.eps)
+            continue; // pruned by the incumbent
+
+        // Most-fractional integral variable.
+        std::size_t frac_var = SIZE_MAX;
+        double frac_dist = opts.integralityTol;
+        for (std::size_t i = 0; i < p.numVariables(); ++i) {
+            if (!p.isInteger(i))
+                continue;
+            const double v = rel.values[i];
+            const double d = std::abs(v - std::round(v));
+            if (d > frac_dist) {
+                frac_dist = d;
+                frac_var = i;
+            }
+        }
+        if (frac_var == SIZE_MAX) {
+            // Integral solution: new incumbent.
+            best = rel;
+            best_obj = rel.objective;
+            continue;
+        }
+
+        const double v = rel.values[frac_var];
+        std::vector<Branch> down = branches;
+        down.push_back(Branch{frac_var, true, std::floor(v)});
+        std::vector<Branch> up = branches;
+        up.push_back(Branch{frac_var, false, std::ceil(v)});
+        // Explore the nearer bound first (stack order: push last).
+        if (v - std::floor(v) <= 0.5) {
+            stack.push_back(std::move(up));
+            stack.push_back(std::move(down));
+        } else {
+            stack.push_back(std::move(down));
+            stack.push_back(std::move(up));
+        }
+    }
+
+    if (capped && best.status != Status::Optimal) {
+        Solution s;
+        s.status = Status::IterationLimit;
+        return s;
+    }
+    if (capped)
+        best.status = Status::IterationLimit;
+    return best;
+}
+
+} // namespace lp
+} // namespace srsim

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Linear-program model and solver interface.
+ *
+ * The paper casts both message-interval allocation (Sec. 5.2,
+ * constraints (3)-(4)) and interval scheduling (Sec. 5.3, the
+ * Blazewicz-style formulation over link-feasible sets) as mathematical
+ * programs. srsim solves them with this self-contained two-phase dense
+ * simplex. Variables are preemptive transmission *durations*, which
+ * are naturally continuous, so the LP relaxation carries the same
+ * feasibility semantics as the paper's integer programs.
+ *
+ * Model: minimize c^T x subject to linear constraints, with every
+ * variable constrained to x >= 0.
+ */
+
+#ifndef SRSIM_SOLVER_LP_HH_
+#define SRSIM_SOLVER_LP_HH_
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace srsim {
+namespace lp {
+
+/** Constraint sense. */
+enum class Relation { LessEq, GreaterEq, Equal };
+
+/** Solver outcome. */
+enum class Status { Optimal, Infeasible, Unbounded, IterationLimit };
+
+/** @return human-readable status name. */
+const char *statusName(Status s);
+
+/** One linear constraint: sum(coeff_i * x_i) REL rhs. */
+struct Constraint
+{
+    std::vector<std::pair<std::size_t, double>> terms;
+    Relation rel = Relation::LessEq;
+    double rhs = 0.0;
+};
+
+/**
+ * A linear program in minimization form with non-negative variables.
+ * Variables may additionally be marked integral, in which case
+ * solveMip() enforces integrality by branch and bound (solve()
+ * ignores the marks and returns the LP relaxation).
+ */
+class Problem
+{
+  public:
+    /**
+     * Add a decision variable.
+     * @param cost objective coefficient
+     * @param name optional diagnostic name
+     * @return variable index
+     */
+    std::size_t addVariable(double cost, std::string name = "");
+
+    /** Require variable i to take an integer value in solveMip(). */
+    void markInteger(std::size_t i);
+
+    /** @return true if variable i is integrality-constrained. */
+    bool isInteger(std::size_t i) const { return integer_[i]; }
+
+    /** @return true if any variable is integrality-constrained. */
+    bool hasIntegers() const;
+
+    /** Add a constraint; all variable indices must already exist. */
+    void addConstraint(Constraint c);
+
+    /** Convenience: add sum(terms) REL rhs. */
+    void
+    addConstraint(std::vector<std::pair<std::size_t, double>> terms,
+                  Relation rel, double rhs)
+    {
+        addConstraint(Constraint{std::move(terms), rel, rhs});
+    }
+
+    std::size_t numVariables() const { return costs_.size(); }
+    std::size_t numConstraints() const { return constraints_.size(); }
+
+    const std::vector<double> &costs() const { return costs_; }
+    const std::vector<Constraint> &constraints() const
+    {
+        return constraints_;
+    }
+    const std::string &variableName(std::size_t i) const
+    {
+        return names_[i];
+    }
+
+  private:
+    std::vector<double> costs_;
+    std::vector<std::string> names_;
+    std::vector<bool> integer_;
+    std::vector<Constraint> constraints_;
+};
+
+/** Result of a solve. */
+struct Solution
+{
+    Status status = Status::Infeasible;
+    /** Objective value; meaningful only when status == Optimal. */
+    double objective = 0.0;
+    /** Variable values; meaningful only when status == Optimal. */
+    std::vector<double> values;
+
+    bool feasible() const { return status == Status::Optimal; }
+};
+
+/** Solver knobs. */
+struct SolveOptions
+{
+    /** Hard cap on pivots across both phases. */
+    std::size_t maxIterations = 200000;
+    /** Numeric tolerance for pivoting and feasibility tests. */
+    double eps = 1e-9;
+};
+
+/**
+ * Solve the LP with the two-phase primal simplex method.
+ *
+ * Uses Dantzig pricing with an automatic switch to Bland's rule when
+ * the objective stalls, which guarantees termination. Integrality
+ * marks are ignored (this is the relaxation).
+ */
+Solution solve(const Problem &p, const SolveOptions &opts = {});
+
+/** Branch-and-bound knobs. */
+struct MipOptions
+{
+    /** Hard cap on explored branch-and-bound nodes. */
+    std::size_t maxNodes = 20000;
+    /** A value within this of an integer counts as integral. */
+    double integralityTol = 1e-6;
+    /** Options for the LP relaxations. */
+    SolveOptions lp;
+};
+
+/**
+ * Solve the problem with integrality enforced on the marked
+ * variables, by LP-based branch and bound (most-fractional
+ * branching, depth-first, best-solution pruning).
+ *
+ * Status semantics: Optimal = best integral solution found and the
+ * tree was fully explored; IterationLimit = the node cap was hit
+ * (values hold the incumbent if one was found); Infeasible = no
+ * integral solution exists.
+ */
+Solution solveMip(const Problem &p, const MipOptions &opts = {});
+
+} // namespace lp
+} // namespace srsim
+
+#endif // SRSIM_SOLVER_LP_HH_

@@ -1,0 +1,58 @@
+#include "tfg/dvb.hh"
+
+#include <string>
+
+#include "util/logging.hh"
+
+namespace srsim {
+
+TaskFlowGraph
+buildDvbTfg(const DvbParams &params)
+{
+    if (params.numModels < 1)
+        fatal("DVB needs at least one object model");
+    if (params.chainOps.size() != 8)
+        fatal("DVB recognition chain must have exactly 8 tasks, got ",
+              params.chainOps.size());
+
+    TaskFlowGraph g;
+    const TaskId input = g.addTask("input", params.inputOps);
+
+    std::vector<TaskId> models;
+    for (int i = 0; i < params.numModels; ++i) {
+        models.push_back(g.addTask("model" + std::to_string(i),
+                                   params.modelOps));
+        g.addMessage("a" + std::to_string(i), input, models.back(),
+                     params.bytesA);
+    }
+
+    static const char *chain_names[8] = {
+        "match",  "hough",  "probe", "extend",
+        "verify", "filter", "score", "result",
+    };
+    std::vector<TaskId> chain;
+    for (std::size_t i = 0; i < 8; ++i)
+        chain.push_back(g.addTask(chain_names[i], params.chainOps[i]));
+
+    for (int i = 0; i < params.numModels; ++i) {
+        g.addMessage("b" + std::to_string(i), models[
+                         static_cast<std::size_t>(i)],
+                     chain[0], params.bytesB);
+    }
+
+    const double chain_bytes[7] = {
+        params.bytesC, params.bytesD, params.bytesE, params.bytesF,
+        params.bytesG, params.bytesH, params.bytesI,
+    };
+    static const char *chain_msg_names[7] = {"c", "d", "e", "f",
+                                             "g", "h", "i"};
+    for (std::size_t i = 0; i < 7; ++i) {
+        g.addMessage(chain_msg_names[i], chain[i], chain[i + 1],
+                     chain_bytes[i]);
+    }
+
+    SRSIM_ASSERT(g.isAcyclic(), "DVB TFG must be acyclic");
+    return g;
+}
+
+} // namespace srsim

@@ -1,0 +1,133 @@
+#include "tfg/patterns.hh"
+
+#include <string>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace srsim {
+namespace patterns {
+
+TaskFlowGraph
+chain(int stages, double opsPerTask, double bytesPerMessage)
+{
+    if (stages < 1)
+        fatal("chain needs at least one stage");
+    TaskFlowGraph g;
+    TaskId prev = kInvalidTask;
+    for (int s = 0; s < stages; ++s) {
+        const TaskId t =
+            g.addTask("stage" + std::to_string(s), opsPerTask);
+        if (prev != kInvalidTask)
+            g.addMessage("m" + std::to_string(s - 1), prev, t,
+                         bytesPerMessage);
+        prev = t;
+    }
+    return g;
+}
+
+TaskFlowGraph
+forkJoin(int width, double sourceOps, double workerOps,
+         double sinkOps, double bytesPerMessage)
+{
+    if (width < 1)
+        fatal("forkJoin needs at least one worker");
+    TaskFlowGraph g;
+    const TaskId src = g.addTask("source", sourceOps);
+    const TaskId sink = g.addTask("sink", sinkOps);
+    for (int w = 0; w < width; ++w) {
+        const TaskId worker =
+            g.addTask("worker" + std::to_string(w), workerOps);
+        g.addMessage("out" + std::to_string(w), src, worker,
+                     bytesPerMessage);
+        g.addMessage("in" + std::to_string(w), worker, sink,
+                     bytesPerMessage);
+    }
+    return g;
+}
+
+TaskFlowGraph
+butterfly(int stages, int width, double opsPerTask,
+          double bytesPerMessage)
+{
+    if (stages < 1 || width < 1)
+        fatal("butterfly needs positive stages and width");
+    TaskFlowGraph g;
+    const TaskId src = g.addTask("src", opsPerTask);
+    std::vector<std::vector<TaskId>> layer(
+        static_cast<std::size_t>(stages));
+    int msg = 0;
+    for (int l = 0; l < stages; ++l) {
+        for (int i = 0; i < width; ++i) {
+            layer[static_cast<std::size_t>(l)].push_back(g.addTask(
+                "b" + std::to_string(l) + "_" + std::to_string(i),
+                opsPerTask));
+        }
+    }
+    for (int i = 0; i < width; ++i)
+        g.addMessage("seed" + std::to_string(i), src,
+                     layer[0][static_cast<std::size_t>(i)],
+                     bytesPerMessage);
+    for (int l = 0; l + 1 < stages; ++l) {
+        for (int i = 0; i < width; ++i) {
+            const TaskId from =
+                layer[static_cast<std::size_t>(l)]
+                     [static_cast<std::size_t>(i)];
+            const int twiddle = (i ^ (1 << l)) % width;
+            g.addMessage("s" + std::to_string(msg++), from,
+                         layer[static_cast<std::size_t>(l + 1)]
+                              [static_cast<std::size_t>(i)],
+                         bytesPerMessage);
+            if (twiddle != i) {
+                g.addMessage(
+                    "x" + std::to_string(msg++), from,
+                    layer[static_cast<std::size_t>(l + 1)]
+                         [static_cast<std::size_t>(twiddle)],
+                    bytesPerMessage);
+            }
+        }
+    }
+    return g;
+}
+
+TaskFlowGraph
+reduction(int leaves, double opsPerTask, double bytesPerMessage)
+{
+    if (leaves < 1)
+        fatal("reduction needs at least one leaf");
+    TaskFlowGraph g;
+    const TaskId src = g.addTask("scatter", opsPerTask);
+    std::vector<TaskId> level;
+    for (int i = 0; i < leaves; ++i) {
+        level.push_back(
+            g.addTask("leaf" + std::to_string(i), opsPerTask));
+        g.addMessage("seed" + std::to_string(i), src, level.back(),
+                     bytesPerMessage);
+    }
+    int depth = 0;
+    int msg = 0;
+    while (level.size() > 1) {
+        std::vector<TaskId> next;
+        for (std::size_t i = 0; i < level.size(); i += 2) {
+            if (i + 1 == level.size()) {
+                next.push_back(level[i]); // odd one rides up
+                continue;
+            }
+            const TaskId parent = g.addTask(
+                "red" + std::to_string(depth) + "_" +
+                    std::to_string(i / 2),
+                opsPerTask);
+            g.addMessage("r" + std::to_string(msg++), level[i],
+                         parent, bytesPerMessage);
+            g.addMessage("r" + std::to_string(msg++),
+                         level[i + 1], parent, bytesPerMessage);
+            next.push_back(parent);
+        }
+        level = std::move(next);
+        ++depth;
+    }
+    return g;
+}
+
+} // namespace patterns
+} // namespace srsim

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Canonical TFG shapes for tests, examples, and library users:
+ * linear chains, fork-join fans, layered butterflies, and trees.
+ * All generated graphs are acyclic by construction with exactly one
+ * input task, which makes pipelining behaviour easy to reason
+ * about.
+ */
+
+#ifndef SRSIM_TFG_PATTERNS_HH_
+#define SRSIM_TFG_PATTERNS_HH_
+
+#include "tfg/tfg.hh"
+
+namespace srsim {
+namespace patterns {
+
+/**
+ * A linear pipeline of `stages` tasks joined by `stages - 1`
+ * messages.
+ */
+TaskFlowGraph
+chain(int stages, double opsPerTask, double bytesPerMessage);
+
+/**
+ * Fork-join: source -> `width` parallel workers -> sink.
+ */
+TaskFlowGraph
+forkJoin(int width, double sourceOps, double workerOps,
+         double sinkOps, double bytesPerMessage);
+
+/**
+ * A butterfly of `stages` layers of `width` tasks: task (l, i)
+ * sends to (l+1, i) and (l+1, i XOR 2^l mod width); width should
+ * be a power of two for a true butterfly, but any width >= 1
+ * works (indices wrap).
+ */
+TaskFlowGraph
+butterfly(int stages, int width, double opsPerTask,
+          double bytesPerMessage);
+
+/**
+ * A complete binary reduction tree with `leaves` inputs... folded
+ * so the single source fans out to the leaves first (making the
+ * graph single-input): source -> leaves -> pairwise reduction to
+ * the root.
+ */
+TaskFlowGraph
+reduction(int leaves, double opsPerTask, double bytesPerMessage);
+
+} // namespace patterns
+} // namespace srsim
+
+#endif // SRSIM_TFG_PATTERNS_HH_

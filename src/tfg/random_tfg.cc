@@ -1,0 +1,81 @@
+#include "tfg/random_tfg.hh"
+
+#include <string>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace srsim {
+
+TaskFlowGraph
+buildRandomTfg(const RandomTfgParams &params, Rng &rng)
+{
+    if (params.layers < 2)
+        fatal("random TFG needs at least two layers");
+    if (params.minWidth < 1 || params.maxWidth < params.minWidth)
+        fatal("bad random TFG width range");
+
+    TaskFlowGraph g;
+    std::vector<std::vector<TaskId>> layers;
+    int counter = 0;
+    for (int l = 0; l < params.layers; ++l) {
+        const int width = rng.uniformInt(params.minWidth,
+                                         params.maxWidth);
+        std::vector<TaskId> layer;
+        for (int w = 0; w < width; ++w) {
+            layer.push_back(g.addTask(
+                "t" + std::to_string(counter++),
+                rng.uniformReal(params.minOps, params.maxOps)));
+        }
+        layers.push_back(std::move(layer));
+    }
+
+    int msg_counter = 0;
+    auto connect = [&](TaskId s, TaskId d) {
+        g.addMessage("m" + std::to_string(msg_counter++), s, d,
+                     rng.uniformReal(params.minBytes,
+                                     params.maxBytes));
+    };
+
+    for (int l = 0; l + 1 < params.layers; ++l) {
+        const auto &cur = layers[static_cast<std::size_t>(l)];
+        const auto &next = layers[static_cast<std::size_t>(l + 1)];
+        for (TaskId s : cur)
+            for (TaskId d : next)
+                if (rng.chance(params.edgeProbability))
+                    connect(s, d);
+        if (l + 2 < params.layers) {
+            const auto &skip = layers[static_cast<std::size_t>(l + 2)];
+            for (TaskId s : cur)
+                for (TaskId d : skip)
+                    if (rng.chance(params.skipProbability))
+                        connect(s, d);
+        }
+    }
+
+    // Guarantee connectivity between layers: every non-first-layer
+    // task has a predecessor, every non-last-layer task a successor.
+    for (int l = 1; l < params.layers; ++l) {
+        for (TaskId d : layers[static_cast<std::size_t>(l)]) {
+            if (g.incoming(d).empty()) {
+                const auto &prev =
+                    layers[static_cast<std::size_t>(l - 1)];
+                connect(prev[rng.index(prev.size())], d);
+            }
+        }
+    }
+    for (int l = 0; l + 1 < params.layers; ++l) {
+        for (TaskId s : layers[static_cast<std::size_t>(l)]) {
+            if (g.outgoing(s).empty()) {
+                const auto &next =
+                    layers[static_cast<std::size_t>(l + 1)];
+                connect(s, next[rng.index(next.size())]);
+            }
+        }
+    }
+
+    SRSIM_ASSERT(g.isAcyclic(), "random TFG must be acyclic");
+    return g;
+}
+
+} // namespace srsim

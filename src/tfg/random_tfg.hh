@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Random layered task-flow graph generator.
+ *
+ * Used by property tests and extension experiments to exercise the
+ * scheduler on TFG shapes beyond the DVB pipeline: random layer
+ * widths, random fan-in/out, random task and message weights —
+ * always acyclic by construction (edges only go to later layers).
+ */
+
+#ifndef SRSIM_TFG_RANDOM_TFG_HH_
+#define SRSIM_TFG_RANDOM_TFG_HH_
+
+#include "tfg/tfg.hh"
+#include "util/rng.hh"
+
+namespace srsim {
+
+/** Parameters of the random layered TFG generator. */
+struct RandomTfgParams
+{
+    int layers = 4;
+    int minWidth = 1;
+    int maxWidth = 4;
+    /** Probability of an edge between tasks in adjacent layers. */
+    double edgeProbability = 0.6;
+    /** Probability of a skip edge across one layer. */
+    double skipProbability = 0.1;
+    double minOps = 100.0;
+    double maxOps = 2000.0;
+    double minBytes = 64.0;
+    double maxBytes = 4096.0;
+};
+
+/**
+ * Generate a random layered TFG.
+ *
+ * Every non-first-layer task is guaranteed at least one predecessor
+ * and every non-last-layer task at least one successor, so the
+ * graph's inputs are exactly layer 0.
+ */
+TaskFlowGraph buildRandomTfg(const RandomTfgParams &params, Rng &rng);
+
+} // namespace srsim
+
+#endif // SRSIM_TFG_RANDOM_TFG_HH_

@@ -1,0 +1,178 @@
+#include "tfg/tfg.hh"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/logging.hh"
+
+namespace srsim {
+
+TaskId
+TaskFlowGraph::addTask(std::string name, double operations)
+{
+    if (operations <= 0.0)
+        fatal("task '", name, "' must have positive operations");
+    const TaskId id = static_cast<TaskId>(tasks_.size());
+    tasks_.push_back(Task{id, std::move(name), operations});
+    incoming_.emplace_back();
+    outgoing_.emplace_back();
+    return id;
+}
+
+MessageId
+TaskFlowGraph::addMessage(std::string name, TaskId src, TaskId dst,
+                          double bytes)
+{
+    checkTask(src);
+    checkTask(dst);
+    if (src == dst)
+        fatal("message '", name, "' has identical source and dest");
+    if (bytes <= 0.0)
+        fatal("message '", name, "' must have positive bytes");
+    const MessageId id = static_cast<MessageId>(messages_.size());
+    messages_.push_back(Message{id, std::move(name), src, dst, bytes});
+    outgoing_[static_cast<std::size_t>(src)].push_back(id);
+    incoming_[static_cast<std::size_t>(dst)].push_back(id);
+    return id;
+}
+
+const Task &
+TaskFlowGraph::task(TaskId id) const
+{
+    checkTask(id);
+    return tasks_[static_cast<std::size_t>(id)];
+}
+
+const Message &
+TaskFlowGraph::message(MessageId id) const
+{
+    SRSIM_ASSERT(id >= 0 && id < numMessages(), "bad message id ", id);
+    return messages_[static_cast<std::size_t>(id)];
+}
+
+const std::vector<MessageId> &
+TaskFlowGraph::incoming(TaskId t) const
+{
+    checkTask(t);
+    return incoming_[static_cast<std::size_t>(t)];
+}
+
+const std::vector<MessageId> &
+TaskFlowGraph::outgoing(TaskId t) const
+{
+    checkTask(t);
+    return outgoing_[static_cast<std::size_t>(t)];
+}
+
+std::vector<TaskId>
+TaskFlowGraph::inputTasks() const
+{
+    std::vector<TaskId> out;
+    for (const Task &t : tasks_)
+        if (incoming(t.id).empty())
+            out.push_back(t.id);
+    return out;
+}
+
+std::vector<TaskId>
+TaskFlowGraph::outputTasks() const
+{
+    std::vector<TaskId> out;
+    for (const Task &t : tasks_)
+        if (outgoing(t.id).empty())
+            out.push_back(t.id);
+    return out;
+}
+
+bool
+TaskFlowGraph::isAcyclic() const
+{
+    // Kahn's algorithm: the graph is acyclic iff every task drains.
+    std::vector<int> indeg(tasks_.size());
+    for (std::size_t t = 0; t < tasks_.size(); ++t)
+        indeg[t] = static_cast<int>(incoming_[t].size());
+    std::deque<TaskId> ready;
+    for (std::size_t t = 0; t < tasks_.size(); ++t)
+        if (indeg[t] == 0)
+            ready.push_back(static_cast<TaskId>(t));
+    std::size_t seen = 0;
+    while (!ready.empty()) {
+        TaskId t = ready.front();
+        ready.pop_front();
+        ++seen;
+        for (MessageId m : outgoing(t)) {
+            TaskId d = message(m).dst;
+            if (--indeg[static_cast<std::size_t>(d)] == 0)
+                ready.push_back(d);
+        }
+    }
+    return seen == tasks_.size();
+}
+
+std::vector<TaskId>
+TaskFlowGraph::topologicalOrder() const
+{
+    std::vector<int> indeg(tasks_.size());
+    for (std::size_t t = 0; t < tasks_.size(); ++t)
+        indeg[t] = static_cast<int>(incoming_[t].size());
+    std::deque<TaskId> ready;
+    for (std::size_t t = 0; t < tasks_.size(); ++t)
+        if (indeg[t] == 0)
+            ready.push_back(static_cast<TaskId>(t));
+    std::vector<TaskId> order;
+    order.reserve(tasks_.size());
+    while (!ready.empty()) {
+        TaskId t = ready.front();
+        ready.pop_front();
+        order.push_back(t);
+        for (MessageId m : outgoing(t)) {
+            TaskId d = message(m).dst;
+            if (--indeg[static_cast<std::size_t>(d)] == 0)
+                ready.push_back(d);
+        }
+    }
+    if (order.size() != tasks_.size())
+        fatal("task-flow graph contains a cycle");
+    return order;
+}
+
+double
+TaskFlowGraph::maxOperations() const
+{
+    double mx = 0.0;
+    for (const Task &t : tasks_)
+        mx = std::max(mx, t.operations);
+    return mx;
+}
+
+double
+TaskFlowGraph::maxBytes() const
+{
+    double mx = 0.0;
+    for (const Message &m : messages_)
+        mx = std::max(mx, m.bytes);
+    return mx;
+}
+
+void
+TaskFlowGraph::writeDot(std::ostream &os) const
+{
+    os << "digraph tfg {\n";
+    for (const Task &t : tasks_) {
+        os << "  t" << t.id << " [label=\"" << t.name << "\\n"
+           << t.operations << " ops\"];\n";
+    }
+    for (const Message &m : messages_) {
+        os << "  t" << m.src << " -> t" << m.dst << " [label=\""
+           << m.name << " (" << m.bytes << " B)\"];\n";
+    }
+    os << "}\n";
+}
+
+void
+TaskFlowGraph::checkTask(TaskId t) const
+{
+    SRSIM_ASSERT(t >= 0 && t < numTasks(), "bad task id ", t);
+}
+
+} // namespace srsim

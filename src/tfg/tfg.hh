@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Task-flow graph (TFG) model of Section 2 of the paper.
+ *
+ * A TFG is a directed acyclic graph {S_T, S_M}: vertices are tasks
+ * (with operation counts C_i), edges are messages (with byte counts
+ * m_i). Task-level pipelining invokes the whole TFG once per input
+ * period tau_in; a task sends its messages at the end of its
+ * execution, and a task starts once every incoming message of the
+ * invocation has arrived.
+ */
+
+#ifndef SRSIM_TFG_TFG_HH_
+#define SRSIM_TFG_TFG_HH_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace srsim {
+
+/** Index of a task in a TaskFlowGraph. */
+using TaskId = int;
+/** Index of a message in a TaskFlowGraph. */
+using MessageId = int;
+
+constexpr TaskId kInvalidTask = -1;
+constexpr MessageId kInvalidMessage = -1;
+
+/** One task: a sequential block of `operations` operations. */
+struct Task
+{
+    TaskId id = kInvalidTask;
+    std::string name;
+    double operations = 0.0;
+};
+
+/** One inter-task message of `bytes` bytes from src to dst. */
+struct Message
+{
+    MessageId id = kInvalidMessage;
+    std::string name;
+    TaskId src = kInvalidTask;
+    TaskId dst = kInvalidTask;
+    double bytes = 0.0;
+};
+
+/**
+ * Directed acyclic task-flow graph.
+ *
+ * Identical payloads to different destinations are distinct messages
+ * (the paper's application-level view). Construction is incremental;
+ * validate() checks DAG-ness and must pass before the graph is used
+ * by timing/scheduling code (the accessors that depend on structure
+ * call it implicitly through topologicalOrder()).
+ */
+class TaskFlowGraph
+{
+  public:
+    /**
+     * Add a task.
+     * @param name diagnostic label
+     * @param operations operation count C_i (> 0)
+     */
+    TaskId addTask(std::string name, double operations);
+
+    /**
+     * Add a message between existing tasks.
+     * @param bytes payload size m_i (> 0)
+     */
+    MessageId addMessage(std::string name, TaskId src, TaskId dst,
+                         double bytes);
+
+    int numTasks() const { return static_cast<int>(tasks_.size()); }
+    int numMessages() const
+    {
+        return static_cast<int>(messages_.size());
+    }
+
+    const Task &task(TaskId id) const;
+    const Message &message(MessageId id) const;
+    const std::vector<Task> &tasks() const { return tasks_; }
+    const std::vector<Message> &messages() const { return messages_; }
+
+    /** Messages entering task t. */
+    const std::vector<MessageId> &incoming(TaskId t) const;
+    /** Messages leaving task t. */
+    const std::vector<MessageId> &outgoing(TaskId t) const;
+
+    /** Tasks with no incoming messages. */
+    std::vector<TaskId> inputTasks() const;
+    /** Tasks with no outgoing messages. */
+    std::vector<TaskId> outputTasks() const;
+
+    /** @return true iff the graph is a DAG (ignores isolated tasks). */
+    bool isAcyclic() const;
+
+    /**
+     * Tasks in topological order.
+     * Fatal error if the graph contains a cycle.
+     */
+    std::vector<TaskId> topologicalOrder() const;
+
+    /** Largest operation count over all tasks. */
+    double maxOperations() const;
+    /** Largest byte count over all messages. */
+    double maxBytes() const;
+
+    /** Emit Graphviz DOT for inspection. */
+    void writeDot(std::ostream &os) const;
+
+  private:
+    void checkTask(TaskId t) const;
+
+    std::vector<Task> tasks_;
+    std::vector<Message> messages_;
+    std::vector<std::vector<MessageId>> incoming_;
+    std::vector<std::vector<MessageId>> outgoing_;
+};
+
+} // namespace srsim
+
+#endif // SRSIM_TFG_TFG_HH_

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Serialization of task-flow graphs.
+ *
+ * A stable line-oriented text form so applications can be described
+ * in files and fed to the srsimc command-line compiler:
+ *
+ *   srsim-tfg v1
+ *   # comments and blank lines are allowed
+ *   task <name> <operations>
+ *   message <name> <src-task> <dst-task> <bytes>
+ *   end
+ *
+ * Task references in message lines are by name; names must be
+ * unique per kind.
+ */
+
+#ifndef SRSIM_TFG_TFG_IO_HH_
+#define SRSIM_TFG_TFG_IO_HH_
+
+#include <istream>
+#include <ostream>
+
+#include "tfg/tfg.hh"
+
+namespace srsim {
+
+/** Write g in the srsim-tfg v1 text format. */
+void writeTfg(std::ostream &os, const TaskFlowGraph &g);
+
+/**
+ * Parse a TFG written by writeTfg() (or by hand).
+ * Fatal on malformed input, duplicate names, unknown task
+ * references, or a cyclic graph.
+ */
+TaskFlowGraph readTfg(std::istream &is);
+
+} // namespace srsim
+
+#endif // SRSIM_TFG_TFG_IO_HH_

@@ -1,0 +1,82 @@
+#include "tfg/timing.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace srsim {
+
+Time
+TimingModel::taskTime(const TaskFlowGraph &g, TaskId t) const
+{
+    SRSIM_ASSERT(apSpeed > 0.0, "apSpeed must be positive");
+    return g.task(t).operations / apSpeed;
+}
+
+Time
+TimingModel::messageTime(const TaskFlowGraph &g, MessageId m) const
+{
+    SRSIM_ASSERT(bandwidth > 0.0, "bandwidth must be positive");
+    double bytes = g.message(m).bytes;
+    if (packetBytes > 0.0)
+        bytes = std::ceil(bytes / packetBytes - 1e-12) *
+                packetBytes;
+    return bytes / bandwidth;
+}
+
+Time
+TimingModel::tauC(const TaskFlowGraph &g) const
+{
+    return g.maxOperations() / apSpeed;
+}
+
+Time
+TimingModel::tauM(const TaskFlowGraph &g) const
+{
+    Time mx = 0.0;
+    for (const Message &m : g.messages())
+        mx = std::max(mx, messageTime(g, m.id));
+    return mx;
+}
+
+InvocationTiming
+computeInvocationTiming(const TaskFlowGraph &g, const TimingModel &tm)
+{
+    InvocationTiming out;
+    const std::size_t n = static_cast<std::size_t>(g.numTasks());
+    out.eagerStart.assign(n, 0.0);
+    out.eagerFinish.assign(n, 0.0);
+    out.windowStart.assign(n, 0.0);
+    out.windowFinish.assign(n, 0.0);
+    out.tauC = tm.tauC(g);
+
+    for (TaskId t : g.topologicalOrder()) {
+        const std::size_t ti = static_cast<std::size_t>(t);
+        Time eager = 0.0;
+        Time window = 0.0;
+        for (MessageId m : g.incoming(t)) {
+            const TaskId s = g.message(m).src;
+            const std::size_t si = static_cast<std::size_t>(s);
+            eager = std::max(eager, out.eagerFinish[si] +
+                                        tm.messageTime(g, m));
+            window = std::max(window, out.windowFinish[si] + out.tauC);
+        }
+        const Time dur = tm.taskTime(g, t);
+        out.eagerStart[ti] = eager;
+        out.eagerFinish[ti] = eager + dur;
+        out.windowStart[ti] = window;
+        out.windowFinish[ti] = window + dur;
+    }
+
+    for (TaskId t : g.outputTasks()) {
+        const std::size_t ti = static_cast<std::size_t>(t);
+        out.criticalPath = std::max(out.criticalPath,
+                                    out.eagerFinish[ti]);
+        out.windowLatency = std::max(out.windowLatency,
+                                     out.windowFinish[ti]);
+    }
+    return out;
+}
+
+} // namespace srsim

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Execution/transmission timing of a TFG on a multicomputer.
+ *
+ * The paper assumes a link bandwidth B (bytes/us) and an application
+ * processor speed (operations/us). From those it derives tau_c (the
+ * longest task time), tau_m (the longest message time), the critical
+ * path length Delta, and the canonical zeroth-invocation schedule
+ * used to assign message release times and deadlines (Sec. 4).
+ */
+
+#ifndef SRSIM_TFG_TIMING_HH_
+#define SRSIM_TFG_TIMING_HH_
+
+#include <vector>
+
+#include "tfg/tfg.hh"
+#include "util/time.hh"
+
+namespace srsim {
+
+/** Hardware timing parameters. */
+struct TimingModel
+{
+    /** Application-processor speed in operations per microsecond. */
+    double apSpeed = 1.0;
+    /** Link bandwidth in bytes per microsecond. */
+    double bandwidth = 64.0;
+    /**
+     * Packet size in bytes (Sec. 4.1's time base). When positive,
+     * messages occupy links for a whole number of packet times:
+     * transmission time rounds up to ceil(bytes/packetBytes)
+     * packets. 0 = continuous (byte-granular) transmission.
+     */
+    double packetBytes = 0.0;
+
+    /** Execution time of task t. */
+    Time taskTime(const TaskFlowGraph &g, TaskId t) const;
+    /** Transmission time of message m over one clear path. */
+    Time messageTime(const TaskFlowGraph &g, MessageId m) const;
+
+    /** Transmission time of one packet (0 when packets disabled). */
+    Time
+    packetTime() const
+    {
+        return packetBytes > 0.0 ? packetBytes / bandwidth : 0.0;
+    }
+
+    /** tau_c: execution time of the longest task. */
+    Time tauC(const TaskFlowGraph &g) const;
+    /** tau_m: transmission time of the longest message. */
+    Time tauM(const TaskFlowGraph &g) const;
+};
+
+/**
+ * Canonical timing of one TFG invocation.
+ *
+ * Two flavours are computed:
+ *  - "eager": each message takes exactly its transmission time; the
+ *    resulting output completion time is the critical path length
+ *    Delta (the minimum possible invocation latency).
+ *  - "window": each message is granted a whole tau_c window (the
+ *    paper's SR time-bound construction — latency may grow, maximum
+ *    throughput is unchanged). Task starts/finishes from this
+ *    flavour generate the SR release times and deadlines.
+ */
+struct InvocationTiming
+{
+    /** Task start times, eager message timing. */
+    std::vector<Time> eagerStart;
+    /** Task finish times, eager message timing. */
+    std::vector<Time> eagerFinish;
+    /** Critical path length Delta (max eager finish of output task). */
+    Time criticalPath = 0.0;
+
+    /** Task start times, tau_c-window message timing. */
+    std::vector<Time> windowStart;
+    /** Task finish times, tau_c-window message timing. */
+    std::vector<Time> windowFinish;
+    /** Invocation latency under SR window timing. */
+    Time windowLatency = 0.0;
+
+    /** tau_c used for the window flavour. */
+    Time tauC = 0.0;
+};
+
+/**
+ * Compute the canonical invocation timing of a TFG.
+ *
+ * Input tasks start at time zero; each other task starts when every
+ * incoming message has arrived.
+ */
+InvocationTiming
+computeInvocationTiming(const TaskFlowGraph &g, const TimingModel &tm);
+
+} // namespace srsim
+
+#endif // SRSIM_TFG_TIMING_HH_

@@ -1,0 +1,76 @@
+#include "topology/factory.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "topology/generalized_hypercube.hh"
+#include "topology/mesh.hh"
+#include "topology/torus.hh"
+#include "util/logging.hh"
+
+namespace srsim {
+
+namespace {
+
+/** Parse "A,B,C" (MSD first) into LSD-first radices. */
+std::vector<int>
+parseRadices(const std::string &list)
+{
+    std::vector<int> out;
+    std::istringstream ls(list);
+    std::string item;
+    while (std::getline(ls, item, ',')) {
+        if (item.empty())
+            fatal("empty dimension in topology spec '", list, "'");
+        int v = 0;
+        try {
+            v = std::stoi(item);
+        } catch (const std::exception &) {
+            fatal("bad dimension '", item, "' in topology spec");
+        }
+        if (v < 2)
+            fatal("dimension extents must be >= 2, got ", v);
+        out.push_back(v);
+    }
+    if (out.empty())
+        fatal("topology spec lists no dimensions");
+    std::reverse(out.begin(), out.end()); // to LSD-first
+    return out;
+}
+
+} // namespace
+
+std::unique_ptr<Topology>
+makeTopology(const std::string &spec)
+{
+    const auto colon = spec.find(':');
+    if (colon == std::string::npos)
+        fatal("topology spec '", spec,
+              "' must look like kind:dims (e.g. torus:8,8)");
+    const std::string kind = spec.substr(0, colon);
+    const std::string dims = spec.substr(colon + 1);
+
+    if (kind == "cube") {
+        int n = 0;
+        try {
+            n = std::stoi(dims);
+        } catch (const std::exception &) {
+            fatal("bad cube dimension '", dims, "'");
+        }
+        if (n < 1)
+            fatal("cube dimension must be >= 1");
+        return std::make_unique<GeneralizedHypercube>(
+            GeneralizedHypercube::binaryCube(n));
+    }
+    if (kind == "ghc")
+        return std::make_unique<GeneralizedHypercube>(
+            parseRadices(dims));
+    if (kind == "torus")
+        return std::make_unique<Torus>(parseRadices(dims));
+    if (kind == "mesh")
+        return std::make_unique<Mesh>(parseRadices(dims));
+    fatal("unknown topology kind '", kind,
+          "' (use cube, ghc, torus, or mesh)");
+}
+
+} // namespace srsim

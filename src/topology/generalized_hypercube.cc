@@ -1,0 +1,127 @@
+#include "topology/generalized_hypercube.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace srsim {
+
+GeneralizedHypercube::GeneralizedHypercube(std::vector<int> radices)
+    : addr_(std::move(radices))
+{
+    setNumNodes(addr_.size());
+    const int n = addr_.size();
+    for (NodeId u = 0; u < n; ++u) {
+        std::vector<int> du = addr_.toDigits(u);
+        for (std::size_t d = 0; d < addr_.dims(); ++d) {
+            std::vector<int> dv = du;
+            for (int val = 0; val < addr_.radix(d); ++val) {
+                if (val == du[d])
+                    continue;
+                dv[d] = val;
+                NodeId v = addr_.toId(dv);
+                if (u < v)
+                    addLink(u, v);
+            }
+        }
+    }
+}
+
+GeneralizedHypercube
+GeneralizedHypercube::binaryCube(int dimensions)
+{
+    SRSIM_ASSERT(dimensions >= 1, "need at least one dimension");
+    return GeneralizedHypercube(
+        std::vector<int>(static_cast<std::size_t>(dimensions), 2));
+}
+
+std::string
+GeneralizedHypercube::name() const
+{
+    bool binary = true;
+    for (std::size_t d = 0; d < addr_.dims(); ++d)
+        binary = binary && addr_.radix(d) == 2;
+    if (binary)
+        return "binary " + std::to_string(addr_.dims()) + "-cube";
+    return "GHC" + addr_.radixString();
+}
+
+int
+GeneralizedHypercube::distance(NodeId src, NodeId dst) const
+{
+    checkNode(src);
+    checkNode(dst);
+    const auto a = addr_.toDigits(src);
+    const auto b = addr_.toDigits(dst);
+    int d = 0;
+    for (std::size_t i = 0; i < addr_.dims(); ++i)
+        d += (a[i] != b[i]);
+    return d;
+}
+
+void
+GeneralizedHypercube::enumerate(std::vector<int> cur,
+                                const std::vector<int> &dst,
+                                std::vector<std::size_t> remaining_dims,
+                                std::vector<NodeId> &nodes,
+                                std::size_t maxPaths,
+                                std::vector<Path> &out) const
+{
+    if (maxPaths != 0 && out.size() >= maxPaths)
+        return;
+    if (remaining_dims.empty()) {
+        out.push_back(makePath(nodes));
+        return;
+    }
+    for (std::size_t i = 0; i < remaining_dims.size(); ++i) {
+        const std::size_t dim = remaining_dims[i];
+        std::vector<std::size_t> rest = remaining_dims;
+        rest.erase(rest.begin() + static_cast<long>(i));
+        const int saved = cur[dim];
+        cur[dim] = dst[dim];
+        nodes.push_back(addr_.toId(cur));
+        enumerate(cur, dst, std::move(rest), nodes, maxPaths, out);
+        nodes.pop_back();
+        cur[dim] = saved;
+        if (maxPaths != 0 && out.size() >= maxPaths)
+            return;
+    }
+}
+
+std::vector<Path>
+GeneralizedHypercube::minimalPaths(NodeId src, NodeId dst,
+                                   std::size_t maxPaths) const
+{
+    checkNode(src);
+    checkNode(dst);
+    const auto a = addr_.toDigits(src);
+    const auto b = addr_.toDigits(dst);
+    std::vector<std::size_t> diff;
+    for (std::size_t i = 0; i < addr_.dims(); ++i)
+        if (a[i] != b[i])
+            diff.push_back(i);
+
+    std::vector<Path> out;
+    std::vector<NodeId> nodes{src};
+    enumerate(a, b, diff, nodes, maxPaths, out);
+    return out;
+}
+
+Path
+GeneralizedHypercube::routeLsdToMsd(NodeId src, NodeId dst) const
+{
+    checkNode(src);
+    checkNode(dst);
+    auto cur = addr_.toDigits(src);
+    const auto target = addr_.toDigits(dst);
+    std::vector<NodeId> nodes{src};
+    for (std::size_t d = 0; d < addr_.dims(); ++d) {
+        if (cur[d] != target[d]) {
+            cur[d] = target[d];
+            nodes.push_back(addr_.toId(cur));
+        }
+    }
+    return makePath(nodes);
+}
+
+} // namespace srsim

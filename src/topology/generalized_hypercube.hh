@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Generalized hypercube topology [Agr86 / Bhuyan-Agrawal].
+ *
+ * A GHC(m_{r-1}, ..., m_0) has one node per mixed-radix address; two
+ * nodes are adjacent iff their addresses differ in exactly one digit
+ * (each dimension is a complete graph among the m_i digit values).
+ * The binary r-cube is the special case of all radices equal to 2.
+ *
+ * Any digit can be corrected in a single hop, so the hop distance is
+ * the number of differing digits and the minimal paths are exactly
+ * the orderings in which the differing dimensions are corrected.
+ */
+
+#ifndef SRSIM_TOPOLOGY_GENERALIZED_HYPERCUBE_HH_
+#define SRSIM_TOPOLOGY_GENERALIZED_HYPERCUBE_HH_
+
+#include <string>
+#include <vector>
+
+#include "topology/mixed_radix.hh"
+#include "topology/topology.hh"
+
+namespace srsim {
+
+/** Generalized hypercube interconnect. */
+class GeneralizedHypercube : public Topology
+{
+  public:
+    /** @param radices per-dimension radix, dimension 0 (LSD) first */
+    explicit GeneralizedHypercube(std::vector<int> radices);
+
+    /** Convenience: binary n-cube. */
+    static GeneralizedHypercube binaryCube(int dimensions);
+
+    std::string name() const override;
+
+    int distance(NodeId src, NodeId dst) const override;
+
+    std::vector<Path>
+    minimalPaths(NodeId src, NodeId dst,
+                 std::size_t maxPaths = 0) const override;
+
+    Path routeLsdToMsd(NodeId src, NodeId dst) const override;
+
+    const MixedRadix &addressing() const { return addr_; }
+
+  private:
+    void
+    enumerate(std::vector<int> cur, const std::vector<int> &dst,
+              std::vector<std::size_t> remaining_dims,
+              std::vector<NodeId> &nodes, std::size_t maxPaths,
+              std::vector<Path> &out) const;
+
+    MixedRadix addr_;
+};
+
+} // namespace srsim
+
+#endif // SRSIM_TOPOLOGY_GENERALIZED_HYPERCUBE_HH_

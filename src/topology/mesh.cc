@@ -1,0 +1,121 @@
+#include "topology/mesh.hh"
+
+#include <cstdlib>
+
+#include "util/logging.hh"
+
+namespace srsim {
+
+Mesh::Mesh(std::vector<int> radices)
+    : addr_(std::move(radices))
+{
+    setNumNodes(addr_.size());
+    const int n = addr_.size();
+    for (NodeId u = 0; u < n; ++u) {
+        std::vector<int> du = addr_.toDigits(u);
+        for (std::size_t d = 0; d < addr_.dims(); ++d) {
+            if (du[d] + 1 >= addr_.radix(d))
+                continue;
+            std::vector<int> dv = du;
+            dv[d] = du[d] + 1;
+            addLink(u, addr_.toId(dv));
+        }
+    }
+}
+
+std::string
+Mesh::name() const
+{
+    std::string s;
+    for (std::size_t i = addr_.dims(); i-- > 0;) {
+        s += std::to_string(addr_.radix(i));
+        if (i != 0)
+            s += "x";
+    }
+    return s + " mesh";
+}
+
+int
+Mesh::distance(NodeId src, NodeId dst) const
+{
+    checkNode(src);
+    checkNode(dst);
+    const auto a = addr_.toDigits(src);
+    const auto b = addr_.toDigits(dst);
+    int d = 0;
+    for (std::size_t i = 0; i < addr_.dims(); ++i)
+        d += std::abs(a[i] - b[i]);
+    return d;
+}
+
+void
+Mesh::enumerate(std::vector<int> cur, std::vector<Walk> walks,
+                std::vector<NodeId> &nodes, std::size_t maxPaths,
+                std::vector<Path> &out) const
+{
+    if (maxPaths != 0 && out.size() >= maxPaths)
+        return;
+    bool done = true;
+    for (const Walk &w : walks)
+        done = done && w.left == 0;
+    if (done) {
+        out.push_back(makePath(nodes));
+        return;
+    }
+    for (std::size_t i = 0; i < walks.size(); ++i) {
+        if (walks[i].left == 0)
+            continue;
+        const std::size_t d = walks[i].dim;
+        const int saved = cur[d];
+        cur[d] += walks[i].dir;
+        nodes.push_back(addr_.toId(cur));
+        --walks[i].left;
+        enumerate(cur, walks, nodes, maxPaths, out);
+        ++walks[i].left;
+        nodes.pop_back();
+        cur[d] = saved;
+        if (maxPaths != 0 && out.size() >= maxPaths)
+            return;
+    }
+}
+
+std::vector<Path>
+Mesh::minimalPaths(NodeId src, NodeId dst, std::size_t maxPaths) const
+{
+    checkNode(src);
+    checkNode(dst);
+    const auto a = addr_.toDigits(src);
+    const auto b = addr_.toDigits(dst);
+    std::vector<Walk> walks;
+    for (std::size_t d = 0; d < addr_.dims(); ++d) {
+        const int delta = b[d] - a[d];
+        if (delta != 0)
+            walks.push_back(Walk{d, delta > 0 ? +1 : -1,
+                                 std::abs(delta)});
+    }
+    std::vector<Path> out;
+    std::vector<NodeId> nodes{src};
+    enumerate(a, std::move(walks), nodes, maxPaths, out);
+    if (out.empty())
+        out.push_back(makePath({src}));
+    return out;
+}
+
+Path
+Mesh::routeLsdToMsd(NodeId src, NodeId dst) const
+{
+    checkNode(src);
+    checkNode(dst);
+    auto cur = addr_.toDigits(src);
+    const auto target = addr_.toDigits(dst);
+    std::vector<NodeId> nodes{src};
+    for (std::size_t d = 0; d < addr_.dims(); ++d) {
+        while (cur[d] != target[d]) {
+            cur[d] += target[d] > cur[d] ? 1 : -1;
+            nodes.push_back(addr_.toId(cur));
+        }
+    }
+    return makePath(nodes);
+}
+
+} // namespace srsim

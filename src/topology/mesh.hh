@@ -1,0 +1,58 @@
+/**
+ * @file
+ * n-dimensional mesh topology (torus without wraparound).
+ *
+ * Not part of the paper's evaluation; provided as an additional
+ * fabric for the extension experiments and examples.
+ */
+
+#ifndef SRSIM_TOPOLOGY_MESH_HH_
+#define SRSIM_TOPOLOGY_MESH_HH_
+
+#include <string>
+#include <vector>
+
+#include "topology/mixed_radix.hh"
+#include "topology/topology.hh"
+
+namespace srsim {
+
+/** n-dimensional mesh interconnect. */
+class Mesh : public Topology
+{
+  public:
+    /** @param radices per-dimension extent, dimension 0 (LSD) first */
+    explicit Mesh(std::vector<int> radices);
+
+    std::string name() const override;
+
+    int distance(NodeId src, NodeId dst) const override;
+
+    std::vector<Path>
+    minimalPaths(NodeId src, NodeId dst,
+                 std::size_t maxPaths = 0) const override;
+
+    Path routeLsdToMsd(NodeId src, NodeId dst) const override;
+
+    const MixedRadix &addressing() const { return addr_; }
+
+  private:
+    /** One in-progress dimension walk during path enumeration. */
+    struct Walk
+    {
+        std::size_t dim;
+        int dir;
+        int left;
+    };
+
+    void
+    enumerate(std::vector<int> cur, std::vector<Walk> walks,
+              std::vector<NodeId> &nodes, std::size_t maxPaths,
+              std::vector<Path> &out) const;
+
+    MixedRadix addr_;
+};
+
+} // namespace srsim
+
+#endif // SRSIM_TOPOLOGY_MESH_HH_

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Node/link identifiers and the Path type shared by routing code.
+ */
+
+#ifndef SRSIM_TOPOLOGY_PATH_HH_
+#define SRSIM_TOPOLOGY_PATH_HH_
+
+#include <ostream>
+#include <vector>
+
+namespace srsim {
+
+/** Index of a node in a topology. */
+using NodeId = int;
+/** Index of a (bidirectional half-duplex) link in a topology. */
+using LinkId = int;
+
+constexpr NodeId kInvalidNode = -1;
+constexpr LinkId kInvalidLink = -1;
+
+/**
+ * A route through the network: the visited node sequence and the link
+ * traversed between each consecutive pair.
+ *
+ * Invariant: links.size() + 1 == nodes.size() (except for the empty
+ * default-constructed path). A path from a node to itself has one node
+ * and no links.
+ */
+struct Path
+{
+    std::vector<NodeId> nodes;
+    std::vector<LinkId> links;
+
+    /** @return number of hops (links traversed). */
+    std::size_t hops() const { return links.size(); }
+
+    bool empty() const { return nodes.empty(); }
+
+    NodeId source() const { return nodes.empty() ? kInvalidNode
+                                                 : nodes.front(); }
+    NodeId destination() const { return nodes.empty() ? kInvalidNode
+                                                      : nodes.back(); }
+
+    bool
+    operator==(const Path &other) const
+    {
+        return nodes == other.nodes && links == other.links;
+    }
+};
+
+inline std::ostream &
+operator<<(std::ostream &os, const Path &p)
+{
+    os << "[";
+    for (std::size_t i = 0; i < p.nodes.size(); ++i)
+        os << (i ? " -> " : "") << p.nodes[i];
+    return os << "]";
+}
+
+} // namespace srsim
+
+#endif // SRSIM_TOPOLOGY_PATH_HH_

@@ -1,0 +1,132 @@
+#include "topology/topology.hh"
+
+#include <deque>
+
+#include "util/logging.hh"
+
+namespace srsim {
+
+const Link &
+Topology::link(LinkId id) const
+{
+    SRSIM_ASSERT(id >= 0 && id < numLinks(), "bad link id ", id);
+    return links_[static_cast<std::size_t>(id)];
+}
+
+const std::vector<LinkId> &
+Topology::linksAt(NodeId n) const
+{
+    checkNode(n);
+    return adjacency_[static_cast<std::size_t>(n)];
+}
+
+std::vector<NodeId>
+Topology::neighborsOf(NodeId n) const
+{
+    std::vector<NodeId> out;
+    for (LinkId l : linksAt(n))
+        out.push_back(link(l).other(n));
+    return out;
+}
+
+LinkId
+Topology::linkBetween(NodeId a, NodeId b) const
+{
+    checkNode(a);
+    checkNode(b);
+    for (LinkId l : adjacency_[static_cast<std::size_t>(a)]) {
+        const Link &lk = link(l);
+        if ((lk.a == a && lk.b == b) || (lk.a == b && lk.b == a))
+            return l;
+    }
+    return kInvalidLink;
+}
+
+int
+Topology::distance(NodeId src, NodeId dst) const
+{
+    checkNode(src);
+    checkNode(dst);
+    if (src == dst)
+        return 0;
+    std::vector<int> dist(static_cast<std::size_t>(numNodes()), -1);
+    std::deque<NodeId> queue{src};
+    dist[static_cast<std::size_t>(src)] = 0;
+    while (!queue.empty()) {
+        NodeId u = queue.front();
+        queue.pop_front();
+        for (NodeId v : neighborsOf(u)) {
+            auto &d = dist[static_cast<std::size_t>(v)];
+            if (d < 0) {
+                d = dist[static_cast<std::size_t>(u)] + 1;
+                if (v == dst)
+                    return d;
+                queue.push_back(v);
+            }
+        }
+    }
+    panic("topology ", name(), " is disconnected between ", src,
+          " and ", dst);
+}
+
+Path
+Topology::makePath(const std::vector<NodeId> &nodes) const
+{
+    Path p;
+    p.nodes = nodes;
+    for (std::size_t i = 0; i + 1 < nodes.size(); ++i) {
+        LinkId l = linkBetween(nodes[i], nodes[i + 1]);
+        SRSIM_ASSERT(l != kInvalidLink, "nodes ", nodes[i], " and ",
+                     nodes[i + 1], " are not adjacent in ", name());
+        p.links.push_back(l);
+    }
+    return p;
+}
+
+bool
+Topology::validPath(const Path &p) const
+{
+    if (p.nodes.empty())
+        return false;
+    if (p.links.size() + 1 != p.nodes.size())
+        return false;
+    for (std::size_t i = 0; i < p.links.size(); ++i) {
+        if (p.links[i] < 0 || p.links[i] >= numLinks())
+            return false;
+        const Link &lk = link(p.links[i]);
+        const NodeId u = p.nodes[i];
+        const NodeId v = p.nodes[i + 1];
+        if (!((lk.a == u && lk.b == v) || (lk.a == v && lk.b == u)))
+            return false;
+    }
+    return true;
+}
+
+void
+Topology::setNumNodes(int n)
+{
+    SRSIM_ASSERT(n > 0, "topology must have at least one node");
+    adjacency_.assign(static_cast<std::size_t>(n), {});
+}
+
+void
+Topology::addLink(NodeId a, NodeId b)
+{
+    checkNode(a);
+    checkNode(b);
+    SRSIM_ASSERT(a != b, "self-link at node ", a);
+    if (linkBetween(a, b) != kInvalidLink)
+        return; // coalesce duplicates (radix-2 wraparound)
+    const LinkId id = static_cast<LinkId>(links_.size());
+    links_.push_back(Link{id, a, b});
+    adjacency_[static_cast<std::size_t>(a)].push_back(id);
+    adjacency_[static_cast<std::size_t>(b)].push_back(id);
+}
+
+void
+Topology::checkNode(NodeId n) const
+{
+    SRSIM_ASSERT(n >= 0 && n < numNodes(), "bad node id ", n);
+}
+
+} // namespace srsim

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Abstract interconnect topology with bidirectional half-duplex links.
+ *
+ * The paper evaluates generalized hypercubes and tori; both derive
+ * from this base, which owns the node/link tables and provides
+ * generic breadth-first helpers. Links are *undirected* resources: a
+ * link carries one message at a time regardless of direction, exactly
+ * as in the paper's half-duplex channel model.
+ */
+
+#ifndef SRSIM_TOPOLOGY_TOPOLOGY_HH_
+#define SRSIM_TOPOLOGY_TOPOLOGY_HH_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "topology/path.hh"
+
+namespace srsim {
+
+/** One undirected half-duplex channel between adjacent nodes. */
+struct Link
+{
+    LinkId id = kInvalidLink;
+    NodeId a = kInvalidNode;
+    NodeId b = kInvalidNode;
+
+    /** @return the endpoint that is not `n`. */
+    NodeId
+    other(NodeId n) const
+    {
+        return n == a ? b : a;
+    }
+};
+
+/**
+ * Base class for interconnection networks.
+ *
+ * Construction protocol for subclasses: call setNumNodes(), addLink()
+ * for every channel, then finalize(). Duplicate links between the
+ * same unordered node pair are coalesced (relevant for radix-2 tori,
+ * where +1 and -1 neighbours coincide).
+ */
+class Topology
+{
+  public:
+    virtual ~Topology() = default;
+
+    /** @return short human-readable name, e.g. "GHC(4,4,4)". */
+    virtual std::string name() const = 0;
+
+    int numNodes() const { return static_cast<int>(adjacency_.size()); }
+    int numLinks() const { return static_cast<int>(links_.size()); }
+
+    const Link &link(LinkId id) const;
+
+    /** All links incident to node n. */
+    const std::vector<LinkId> &linksAt(NodeId n) const;
+
+    /** Neighbour nodes of n (one per incident link). */
+    std::vector<NodeId> neighborsOf(NodeId n) const;
+
+    /** @return link id between a and b, or kInvalidLink. */
+    LinkId linkBetween(NodeId a, NodeId b) const;
+
+    bool
+    adjacent(NodeId a, NodeId b) const
+    {
+        return linkBetween(a, b) != kInvalidLink;
+    }
+
+    int degree(NodeId n) const
+    {
+        return static_cast<int>(linksAt(n).size());
+    }
+
+    /** Hop distance between two nodes. Default: BFS. */
+    virtual int distance(NodeId src, NodeId dst) const;
+
+    /**
+     * Enumerate minimal (shortest) paths from src to dst.
+     * @param maxPaths cap on the number of paths returned (0 = no cap)
+     */
+    virtual std::vector<Path>
+    minimalPaths(NodeId src, NodeId dst, std::size_t maxPaths = 0)
+        const = 0;
+
+    /**
+     * The deterministic routing-function path, correcting the address
+     * from least-significant dimension to most-significant (the
+     * "LSD-to-MSD" route of Sec. 5.1; e-cube / dimension-order).
+     */
+    virtual Path routeLsdToMsd(NodeId src, NodeId dst) const = 0;
+
+    /**
+     * Build a Path from a node sequence, resolving link ids.
+     * Panics if consecutive nodes are not adjacent.
+     */
+    Path makePath(const std::vector<NodeId> &nodes) const;
+
+    /** @return true if p is a contiguous route with valid link ids. */
+    bool validPath(const Path &p) const;
+
+  protected:
+    void setNumNodes(int n);
+    void addLink(NodeId a, NodeId b);
+    void checkNode(NodeId n) const;
+
+  private:
+    std::vector<Link> links_;
+    std::vector<std::vector<LinkId>> adjacency_;
+};
+
+} // namespace srsim
+
+#endif // SRSIM_TOPOLOGY_TOPOLOGY_HH_

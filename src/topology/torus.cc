@@ -1,0 +1,168 @@
+#include "topology/torus.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace srsim {
+
+Torus::Torus(std::vector<int> radices)
+    : addr_(std::move(radices))
+{
+    setNumNodes(addr_.size());
+    const int n = addr_.size();
+    for (NodeId u = 0; u < n; ++u) {
+        std::vector<int> du = addr_.toDigits(u);
+        for (std::size_t d = 0; d < addr_.dims(); ++d) {
+            const int k = addr_.radix(d);
+            std::vector<int> dv = du;
+            dv[d] = (du[d] + 1) % k;
+            NodeId v = addr_.toId(dv);
+            if (v != u)
+                addLink(std::min(u, v), std::max(u, v));
+        }
+    }
+}
+
+std::string
+Torus::name() const
+{
+    std::string s;
+    for (std::size_t i = addr_.dims(); i-- > 0;) {
+        s += std::to_string(addr_.radix(i));
+        if (i != 0)
+            s += "x";
+    }
+    return s + " torus";
+}
+
+std::vector<Torus::DimMove>
+Torus::moves(NodeId src, NodeId dst) const
+{
+    const auto a = addr_.toDigits(src);
+    const auto b = addr_.toDigits(dst);
+    std::vector<DimMove> out;
+    for (std::size_t d = 0; d < addr_.dims(); ++d) {
+        const int k = addr_.radix(d);
+        const int fwd = ((b[d] - a[d]) % k + k) % k;
+        if (fwd == 0)
+            continue;
+        const int bwd = k - fwd;
+        DimMove mv;
+        mv.dim = d;
+        if (fwd < bwd) {
+            mv.steps = fwd;
+            mv.dir = +1;
+            mv.tie = false;
+        } else if (bwd < fwd) {
+            mv.steps = bwd;
+            mv.dir = -1;
+            mv.tie = false;
+        } else {
+            mv.steps = fwd;
+            mv.dir = +1; // canonical choice; tie recorded
+            // For k == 2 both directions traverse the same physical
+            // link, so there is no real alternative.
+            mv.tie = k > 2;
+        }
+        out.push_back(mv);
+    }
+    return out;
+}
+
+int
+Torus::distance(NodeId src, NodeId dst) const
+{
+    checkNode(src);
+    checkNode(dst);
+    int d = 0;
+    for (const DimMove &mv : moves(src, dst))
+        d += mv.steps;
+    return d;
+}
+
+void
+Torus::enumerate(std::vector<int> cur, std::vector<Walk> walks,
+                 std::vector<NodeId> &nodes, std::size_t maxPaths,
+                 std::vector<Path> &out) const
+{
+    if (maxPaths != 0 && out.size() >= maxPaths)
+        return;
+    bool done = true;
+    for (const Walk &w : walks)
+        done = done && w.left == 0;
+    if (done) {
+        out.push_back(makePath(nodes));
+        return;
+    }
+    for (std::size_t i = 0; i < walks.size(); ++i) {
+        if (walks[i].left == 0)
+            continue;
+        const std::size_t d = walks[i].dim;
+        const int k = addr_.radix(d);
+        const int saved = cur[d];
+        cur[d] = ((cur[d] + walks[i].dir) % k + k) % k;
+        nodes.push_back(addr_.toId(cur));
+        --walks[i].left;
+        enumerate(cur, walks, nodes, maxPaths, out);
+        ++walks[i].left;
+        nodes.pop_back();
+        cur[d] = saved;
+        if (maxPaths != 0 && out.size() >= maxPaths)
+            return;
+    }
+}
+
+std::vector<Path>
+Torus::minimalPaths(NodeId src, NodeId dst, std::size_t maxPaths) const
+{
+    checkNode(src);
+    checkNode(dst);
+    const auto mvs = moves(src, dst);
+
+    // Expand direction choices for tie dimensions (offset == k/2).
+    std::vector<std::size_t> tie_idx;
+    for (std::size_t i = 0; i < mvs.size(); ++i)
+        if (mvs[i].tie)
+            tie_idx.push_back(i);
+
+    std::vector<Path> out;
+    const std::size_t combos = std::size_t{1} << tie_idx.size();
+    for (std::size_t mask = 0; mask < combos; ++mask) {
+        std::vector<Walk> walks;
+        for (std::size_t i = 0; i < mvs.size(); ++i) {
+            Walk w{mvs[i].dim, mvs[i].dir, mvs[i].steps};
+            walks.push_back(w);
+        }
+        for (std::size_t t = 0; t < tie_idx.size(); ++t)
+            if (mask & (std::size_t{1} << t))
+                walks[tie_idx[t]].dir = -1;
+        std::vector<NodeId> nodes{src};
+        enumerate(addr_.toDigits(src), std::move(walks), nodes,
+                  maxPaths, out);
+        if (maxPaths != 0 && out.size() >= maxPaths)
+            break;
+    }
+    if (out.empty())
+        out.push_back(makePath({src}));
+    return out;
+}
+
+Path
+Torus::routeLsdToMsd(NodeId src, NodeId dst) const
+{
+    checkNode(src);
+    checkNode(dst);
+    auto cur = addr_.toDigits(src);
+    std::vector<NodeId> nodes{src};
+    for (const DimMove &mv : moves(src, dst)) {
+        const int k = addr_.radix(mv.dim);
+        for (int s = 0; s < mv.steps; ++s) {
+            cur[mv.dim] = ((cur[mv.dim] + mv.dir) % k + k) % k;
+            nodes.push_back(addr_.toId(cur));
+        }
+    }
+    return makePath(nodes);
+}
+
+} // namespace srsim

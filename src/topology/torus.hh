@@ -1,0 +1,75 @@
+/**
+ * @file
+ * k-ary n-dimensional torus topology.
+ *
+ * Nodes carry mixed-radix addresses; two nodes are adjacent iff their
+ * addresses differ by +-1 (mod k_d) in exactly one dimension d. The
+ * 8x8 and 4x4x4 tori of the paper's evaluation are instances.
+ *
+ * Minimal paths: per dimension the offset is walked in the shorter
+ * wrap direction (both directions when the offset is exactly half the
+ * radix); a minimal path is any interleaving of the per-dimension
+ * step sequences.
+ */
+
+#ifndef SRSIM_TOPOLOGY_TORUS_HH_
+#define SRSIM_TOPOLOGY_TORUS_HH_
+
+#include <string>
+#include <vector>
+
+#include "topology/mixed_radix.hh"
+#include "topology/topology.hh"
+
+namespace srsim {
+
+/** k-ary n-dimensional torus interconnect. */
+class Torus : public Topology
+{
+  public:
+    /** @param radices per-dimension extent, dimension 0 (LSD) first */
+    explicit Torus(std::vector<int> radices);
+
+    std::string name() const override;
+
+    int distance(NodeId src, NodeId dst) const override;
+
+    std::vector<Path>
+    minimalPaths(NodeId src, NodeId dst,
+                 std::size_t maxPaths = 0) const override;
+
+    Path routeLsdToMsd(NodeId src, NodeId dst) const override;
+
+    const MixedRadix &addressing() const { return addr_; }
+
+  private:
+    /** Per-dimension shortest-direction decomposition of an offset. */
+    struct DimMove
+    {
+        std::size_t dim;
+        int steps;      ///< number of unit hops
+        int dir;        ///< +1 or -1
+        bool tie;       ///< both directions minimal (offset == k/2)
+    };
+
+    std::vector<DimMove> moves(NodeId src, NodeId dst) const;
+
+    /** One in-progress dimension walk during path enumeration. */
+    struct Walk
+    {
+        std::size_t dim;
+        int dir;
+        int left;
+    };
+
+    void
+    enumerate(std::vector<int> cur, std::vector<Walk> walks,
+              std::vector<NodeId> &nodes, std::size_t maxPaths,
+              std::vector<Path> &out) const;
+
+    MixedRadix addr_;
+};
+
+} // namespace srsim
+
+#endif // SRSIM_TOPOLOGY_TORUS_HH_

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Diagnostic and status-message machinery for srsim.
+ *
+ * Follows the gem5 convention: panic() is for internal invariant
+ * violations (a bug in srsim itself) and aborts; fatal() is for user
+ * errors (bad configuration, infeasible input) and exits cleanly;
+ * warn() and inform() provide non-fatal status.
+ */
+
+#ifndef SRSIM_UTIL_LOGGING_HH_
+#define SRSIM_UTIL_LOGGING_HH_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace srsim {
+
+/** Thrown by fatal() so that tests can observe user-level errors. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/** Thrown by panic() so that tests can observe internal errors. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg)
+        : std::logic_error(msg)
+    {}
+};
+
+namespace detail {
+
+/** Stream-compose a message from parts. */
+template <typename... Args>
+std::string
+composeMessage(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+} // namespace detail
+
+/**
+ * Report an internal invariant violation (a bug in srsim) and throw
+ * PanicError. Never returns normally.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    std::string msg = detail::composeMessage(std::forward<Args>(args)...);
+    std::cerr << "panic: " << msg << std::endl;
+    throw PanicError(msg);
+}
+
+/**
+ * Report an unrecoverable user-level error (bad configuration,
+ * infeasible problem instance) and throw FatalError.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    std::string msg = detail::composeMessage(std::forward<Args>(args)...);
+    std::cerr << "fatal: " << msg << std::endl;
+    throw FatalError(msg);
+}
+
+/** Warn about suspicious but survivable conditions. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    std::cerr << "warn: "
+              << detail::composeMessage(std::forward<Args>(args)...)
+              << std::endl;
+}
+
+/** Informational status message. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    std::cout << "info: "
+              << detail::composeMessage(std::forward<Args>(args)...)
+              << std::endl;
+}
+
+/**
+ * Internal-assumption check that is active in all build types.
+ * @param cond condition that must hold
+ */
+#define SRSIM_ASSERT(cond, ...)                                             \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::srsim::panic("assertion '", #cond, "' failed at ", __FILE__,  \
+                           ":", __LINE__, " ", ##__VA_ARGS__);              \
+        }                                                                   \
+    } while (0)
+
+} // namespace srsim
+
+#endif // SRSIM_UTIL_LOGGING_HH_

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Minimal dense row-major matrix used by the activity/path-assignment
+ * matrices (A, B, P of the paper) and by the simplex solver tableau.
+ */
+
+#ifndef SRSIM_UTIL_MATRIX_HH_
+#define SRSIM_UTIL_MATRIX_HH_
+
+#include <cstddef>
+#include <ostream>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace srsim {
+
+/** Dense row-major matrix of T with bounds-checked access. */
+template <typename T>
+class Matrix
+{
+  public:
+    Matrix() = default;
+
+    Matrix(std::size_t rows, std::size_t cols, T init = T{})
+        : rows_(rows), cols_(cols), data_(rows * cols, init)
+    {}
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+
+    T &
+    at(std::size_t r, std::size_t c)
+    {
+        SRSIM_ASSERT(r < rows_ && c < cols_,
+                     "Matrix access (", r, ",", c, ") out of ",
+                     rows_, "x", cols_);
+        return data_[r * cols_ + c];
+    }
+
+    const T &
+    at(std::size_t r, std::size_t c) const
+    {
+        SRSIM_ASSERT(r < rows_ && c < cols_,
+                     "Matrix access (", r, ",", c, ") out of ",
+                     rows_, "x", cols_);
+        return data_[r * cols_ + c];
+    }
+
+    T &operator()(std::size_t r, std::size_t c) { return at(r, c); }
+    const T &
+    operator()(std::size_t r, std::size_t c) const
+    {
+        return at(r, c);
+    }
+
+    /** Fill every entry with v. */
+    void
+    fill(T v)
+    {
+        std::fill(data_.begin(), data_.end(), v);
+    }
+
+    /** Sum of the entries of row r. */
+    T
+    rowSum(std::size_t r) const
+    {
+        T s{};
+        for (std::size_t c = 0; c < cols_; ++c)
+            s += at(r, c);
+        return s;
+    }
+
+    /** Sum of the entries of column c. */
+    T
+    colSum(std::size_t c) const
+    {
+        T s{};
+        for (std::size_t r = 0; r < rows_; ++r)
+            s += at(r, c);
+        return s;
+    }
+
+    bool
+    operator==(const Matrix &other) const
+    {
+        return rows_ == other.rows_ && cols_ == other.cols_ &&
+               data_ == other.data_;
+    }
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<T> data_;
+};
+
+template <typename T>
+std::ostream &
+operator<<(std::ostream &os, const Matrix<T> &m)
+{
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+        for (std::size_t c = 0; c < m.cols(); ++c)
+            os << (c ? " " : "") << m.at(r, c);
+        os << "\n";
+    }
+    return os;
+}
+
+} // namespace srsim
+
+#endif // SRSIM_UTIL_MATRIX_HH_

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Deterministic random-number utility used by heuristics.
+ *
+ * Every stochastic component in srsim (AssignPaths restarts, random
+ * task allocation, random TFG generation) takes an explicit Rng so
+ * experiments are reproducible from a single seed.
+ */
+
+#ifndef SRSIM_UTIL_RNG_HH_
+#define SRSIM_UTIL_RNG_HH_
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace srsim {
+
+/** Seedable pseudo-random generator with convenience draws. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 1) : engine_(seed) {}
+
+    /** Uniform integer in [lo, hi] (inclusive). */
+    int
+    uniformInt(int lo, int hi)
+    {
+        SRSIM_ASSERT(lo <= hi, "bad uniformInt range");
+        return std::uniform_int_distribution<int>(lo, hi)(engine_);
+    }
+
+    /** Uniform size_t index in [0, n). */
+    std::size_t
+    index(std::size_t n)
+    {
+        SRSIM_ASSERT(n > 0, "index() on empty range");
+        return std::uniform_int_distribution<std::size_t>(0, n - 1)(engine_);
+    }
+
+    /** Uniform real in [lo, hi). */
+    double
+    uniformReal(double lo, double hi)
+    {
+        return std::uniform_real_distribution<double>(lo, hi)(engine_);
+    }
+
+    /** Bernoulli draw with probability p of true. */
+    bool
+    chance(double p)
+    {
+        return std::bernoulli_distribution(p)(engine_);
+    }
+
+    /** Fisher-Yates shuffle of a vector. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        std::shuffle(v.begin(), v.end(), engine_);
+    }
+
+    std::mt19937_64 &engine() { return engine_; }
+
+  private:
+    std::mt19937_64 engine_;
+};
+
+} // namespace srsim
+
+#endif // SRSIM_UTIL_RNG_HH_

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Fixed-width table printer used by the benchmark harness to emit the
+ * rows/series of each reproduced figure, plus CSV export.
+ */
+
+#ifndef SRSIM_UTIL_TABLE_HH_
+#define SRSIM_UTIL_TABLE_HH_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace srsim {
+
+/**
+ * Accumulates rows of string cells and prints them with aligned
+ * columns (human form) or comma separation (CSV form).
+ */
+class Table
+{
+  public:
+    /** @param headers column headers, fixes the column count */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row; must match the header column count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Format a double with the given precision. */
+    static std::string num(double v, int precision = 4);
+
+    /** Print with aligned columns and a separator rule. */
+    void print(std::ostream &os) const;
+
+    /** Print comma-separated values including the header row. */
+    void printCsv(std::ostream &os) const;
+
+    std::size_t numRows() const { return rows_.size(); }
+    std::size_t numCols() const { return headers_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace srsim
+
+#endif // SRSIM_UTIL_TABLE_HH_

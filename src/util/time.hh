@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Simulation time representation and tolerant comparisons.
+ *
+ * All times in srsim are double microseconds. Schedules are built from
+ * sums and differences of task/message durations, so values stay well
+ * below 1e9 and a fixed absolute epsilon is adequate. Every interval in
+ * the scheduler is half-open: [start, end).
+ */
+
+#ifndef SRSIM_UTIL_TIME_HH_
+#define SRSIM_UTIL_TIME_HH_
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+namespace srsim {
+
+/** Simulation time in microseconds. */
+using Time = double;
+
+/** Absolute tolerance for time comparisons. */
+constexpr Time kTimeEps = 1e-6;
+
+/** @return true if a and b are equal within tolerance. */
+inline bool
+timeEq(Time a, Time b)
+{
+    return std::abs(a - b) <= kTimeEps;
+}
+
+/** @return true if a <= b within tolerance. */
+inline bool
+timeLe(Time a, Time b)
+{
+    return a <= b + kTimeEps;
+}
+
+/** @return true if a < b by more than the tolerance. */
+inline bool
+timeLt(Time a, Time b)
+{
+    return a < b - kTimeEps;
+}
+
+/** @return true if a >= b within tolerance. */
+inline bool
+timeGe(Time a, Time b)
+{
+    return timeLe(b, a);
+}
+
+/** @return true if a > b by more than the tolerance. */
+inline bool
+timeGt(Time a, Time b)
+{
+    return timeLt(b, a);
+}
+
+/** @return a clamped into [lo, hi]. */
+inline Time
+timeClamp(Time a, Time lo, Time hi)
+{
+    return std::max(lo, std::min(hi, a));
+}
+
+/**
+ * A half-open time window [start, end). Windows with end <= start are
+ * empty.
+ */
+struct TimeWindow
+{
+    Time start = 0.0;
+    Time end = 0.0;
+
+    /** @return window duration (zero for empty windows). */
+    Time length() const { return std::max(0.0, end - start); }
+
+    /** @return true if the window contains no usable time. */
+    bool empty() const { return !timeLt(start, end); }
+
+    /** @return true if instant t lies in [start, end). */
+    bool
+    contains(Time t) const
+    {
+        return timeGe(t, start) && timeLt(t, end);
+    }
+
+    /** @return true if [s, e) lies fully inside this window. */
+    bool
+    covers(Time s, Time e) const
+    {
+        return timeLe(start, s) && timeLe(e, end);
+    }
+
+    /** @return true if the two windows share usable time. */
+    bool
+    overlaps(const TimeWindow &other) const
+    {
+        return timeLt(std::max(start, other.start),
+                      std::min(end, other.end));
+    }
+
+    bool
+    operator==(const TimeWindow &other) const
+    {
+        return timeEq(start, other.start) && timeEq(end, other.end);
+    }
+};
+
+inline std::ostream &
+operator<<(std::ostream &os, const TimeWindow &w)
+{
+    return os << "[" << w.start << ", " << w.end << ")";
+}
+
+} // namespace srsim
+
+#endif // SRSIM_UTIL_TIME_HH_

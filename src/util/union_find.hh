@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Disjoint-set forest with union by rank and path compression.
+ *
+ * Used to partition TFG messages into maximal related subsets
+ * (Definitions 5.3/5.4 of the paper): messages that transitively share
+ * a (link, interval) pair end up in one set.
+ */
+
+#ifndef SRSIM_UTIL_UNION_FIND_HH_
+#define SRSIM_UTIL_UNION_FIND_HH_
+
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace srsim {
+
+/** Disjoint-set forest over the integers [0, n). */
+class UnionFind
+{
+  public:
+    explicit UnionFind(std::size_t n)
+        : parent_(n), rank_(n, 0), numSets_(n)
+    {
+        std::iota(parent_.begin(), parent_.end(), 0);
+    }
+
+    /** @return canonical representative of x's set. */
+    std::size_t
+    find(std::size_t x)
+    {
+        SRSIM_ASSERT(x < parent_.size(), "UnionFind::find out of range");
+        while (parent_[x] != x) {
+            parent_[x] = parent_[parent_[x]];
+            x = parent_[x];
+        }
+        return x;
+    }
+
+    /**
+     * Merge the sets containing a and b.
+     * @return true if a merge happened (they were distinct sets).
+     */
+    bool
+    unite(std::size_t a, std::size_t b)
+    {
+        a = find(a);
+        b = find(b);
+        if (a == b)
+            return false;
+        if (rank_[a] < rank_[b])
+            std::swap(a, b);
+        parent_[b] = a;
+        if (rank_[a] == rank_[b])
+            ++rank_[a];
+        --numSets_;
+        return true;
+    }
+
+    /** @return true if a and b are in the same set. */
+    bool same(std::size_t a, std::size_t b) { return find(a) == find(b); }
+
+    /** @return current number of disjoint sets. */
+    std::size_t numSets() const { return numSets_; }
+
+    /** @return number of elements. */
+    std::size_t size() const { return parent_.size(); }
+
+    /**
+     * Group element indices by set.
+     * @return one vector of member indices per disjoint set, ordered by
+     *         smallest member.
+     */
+    std::vector<std::vector<std::size_t>>
+    groups()
+    {
+        std::vector<std::vector<std::size_t>> out;
+        std::vector<long> slot(parent_.size(), -1);
+        for (std::size_t i = 0; i < parent_.size(); ++i) {
+            std::size_t root = find(i);
+            if (slot[root] < 0) {
+                slot[root] = static_cast<long>(out.size());
+                out.emplace_back();
+            }
+            out[static_cast<std::size_t>(slot[root])].push_back(i);
+        }
+        return out;
+    }
+
+  private:
+    std::vector<std::size_t> parent_;
+    std::vector<std::size_t> rank_;
+    std::size_t numSets_;
+};
+
+} // namespace srsim
+
+#endif // SRSIM_UTIL_UNION_FIND_HH_

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tests for the TFG file format and the topology factory.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "tfg/dvb.hh"
+#include "tfg/tfg_io.hh"
+#include "topology/factory.hh"
+#include "topology/generalized_hypercube.hh"
+
+namespace srsim {
+namespace {
+
+TEST(TfgIoTest, RoundTripPreservesGraph)
+{
+    const TaskFlowGraph g = buildDvbTfg({});
+    std::stringstream ss;
+    writeTfg(ss, g);
+    const TaskFlowGraph back = readTfg(ss);
+
+    ASSERT_EQ(back.numTasks(), g.numTasks());
+    ASSERT_EQ(back.numMessages(), g.numMessages());
+    for (TaskId t = 0; t < g.numTasks(); ++t) {
+        EXPECT_EQ(back.task(t).name, g.task(t).name);
+        EXPECT_DOUBLE_EQ(back.task(t).operations,
+                         g.task(t).operations);
+    }
+    for (MessageId m = 0; m < g.numMessages(); ++m) {
+        EXPECT_EQ(back.message(m).name, g.message(m).name);
+        EXPECT_EQ(back.message(m).src, g.message(m).src);
+        EXPECT_EQ(back.message(m).dst, g.message(m).dst);
+        EXPECT_DOUBLE_EQ(back.message(m).bytes,
+                         g.message(m).bytes);
+    }
+}
+
+TEST(TfgIoTest, CommentsAndBlankLinesIgnored)
+{
+    std::stringstream ss;
+    ss << "srsim-tfg v1\n"
+       << "# a comment\n"
+       << "\n"
+       << "task a 100\n"
+       << "task b 200\n"
+       << "message m a b 64\n"
+       << "end\n";
+    const TaskFlowGraph g = readTfg(ss);
+    EXPECT_EQ(g.numTasks(), 2);
+    EXPECT_EQ(g.numMessages(), 1);
+}
+
+TEST(TfgIoTest, RejectsBadInputs)
+{
+    auto parse = [](const std::string &body) {
+        std::stringstream ss;
+        ss << body;
+        return readTfg(ss);
+    };
+    EXPECT_THROW(parse("bogus\n"), FatalError);
+    EXPECT_THROW(parse("srsim-tfg v1\ntask a 1\n"), FatalError);
+    EXPECT_THROW(parse("srsim-tfg v1\ntask a 1\ntask a 2\nend\n"),
+                 FatalError);
+    EXPECT_THROW(
+        parse("srsim-tfg v1\ntask a 1\nmessage m a zz 5\nend\n"),
+        FatalError);
+    EXPECT_THROW(parse("srsim-tfg v1\nfrobnicate\nend\n"),
+                 FatalError);
+    EXPECT_THROW(parse("srsim-tfg v1\nend\n"), FatalError);
+    // Cycle.
+    EXPECT_THROW(
+        parse("srsim-tfg v1\ntask a 1\ntask b 1\n"
+              "message m1 a b 5\nmessage m2 b a 5\nend\n"),
+        FatalError);
+}
+
+TEST(TopologyFactoryTest, BuildsAllKinds)
+{
+    EXPECT_EQ(makeTopology("cube:6")->name(), "binary 6-cube");
+    EXPECT_EQ(makeTopology("ghc:4,4,4")->name(), "GHC(4,4,4)");
+    EXPECT_EQ(makeTopology("torus:8,8")->name(), "8x8 torus");
+    EXPECT_EQ(makeTopology("mesh:4,4")->name(), "4x4 mesh");
+    EXPECT_EQ(makeTopology("torus:8,8")->numNodes(), 64);
+}
+
+TEST(TopologyFactoryTest, SpecOrderIsMsdFirst)
+{
+    // "ghc:2,4" = GHC(2,4): 2 is the most significant dimension.
+    const auto t = makeTopology("ghc:2,4");
+    EXPECT_EQ(t->name(), "GHC(2,4)");
+    EXPECT_EQ(t->numNodes(), 8);
+}
+
+TEST(TopologyFactoryTest, RejectsBadSpecs)
+{
+    EXPECT_THROW(makeTopology("cube6"), FatalError);
+    EXPECT_THROW(makeTopology("blimp:3,3"), FatalError);
+    EXPECT_THROW(makeTopology("torus:"), FatalError);
+    EXPECT_THROW(makeTopology("torus:8,x"), FatalError);
+    EXPECT_THROW(makeTopology("torus:8,1"), FatalError);
+    EXPECT_THROW(makeTopology("cube:0"), FatalError);
+}
+
+} // namespace
+} // namespace srsim

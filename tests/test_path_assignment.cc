@@ -1,0 +1,335 @@
+/**
+ * @file
+ * Tests for utilization analysis (Defs. 5.1/5.2) and the
+ * AssignPaths heuristic (Fig. 4), plus the maximal related-subset
+ * decomposition (Defs. 5.3/5.4).
+ */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/intervals.hh"
+#include "core/path_assignment.hh"
+#include "core/subsets.hh"
+#include "core/time_bounds.hh"
+#include "mapping/allocation.hh"
+#include "tfg/dvb.hh"
+#include "topology/generalized_hypercube.hh"
+#include "topology/torus.hh"
+
+namespace srsim {
+namespace {
+
+/**
+ * Two parallel messages released together, both 0 -> 3 on a
+ * 2-cube: forcing them onto one path overloads it; splitting onto
+ * the two disjoint minimal paths balances it.
+ */
+struct ParallelFixture
+{
+    TaskFlowGraph g;
+    GeneralizedHypercube cube = GeneralizedHypercube::binaryCube(2);
+    TimingModel tm;
+    TaskAllocation alloc{4, 4};
+
+    ParallelFixture()
+    {
+        const TaskId s1 = g.addTask("s1", 100.0);
+        const TaskId s2 = g.addTask("s2", 100.0);
+        const TaskId d1 = g.addTask("d1", 100.0);
+        const TaskId d2 = g.addTask("d2", 100.0);
+        g.addMessage("m1", s1, d1, 384.0); // 6 us
+        g.addMessage("m2", s2, d2, 384.0); // 6 us
+        tm.apSpeed = 10.0;   // tau_c = 10
+        tm.bandwidth = 64.0;
+        alloc.assign(0, 0);
+        alloc.assign(1, 0);
+        alloc.assign(2, 3);
+        alloc.assign(3, 3);
+    }
+};
+
+TEST(UtilizationTest, LinkUtilizationDefinition)
+{
+    ParallelFixture f;
+    const TimeBounds tb =
+        computeTimeBounds(f.g, f.alloc, f.tm, 40.0);
+    const IntervalSet ivs(tb);
+    UtilizationAnalyzer ua(tb, ivs, f.cube);
+
+    // Both messages on the same path 0-1-3.
+    PathAssignment pa;
+    pa.paths.push_back(f.cube.makePath({0, 1, 3}));
+    pa.paths.push_back(f.cube.makePath({0, 1, 3}));
+    // Each link carries 12 us of demand inside a 10 us window.
+    const LinkId l01 = f.cube.linkBetween(0, 1);
+    EXPECT_NEAR(ua.linkUtilization(pa, l01), 1.2, 1e-9);
+    const UtilizationReport rep = ua.analyze(pa);
+    EXPECT_NEAR(rep.peak, 1.2, 1e-9);
+    EXPECT_FALSE(rep.position.isSpot);
+
+    // Split onto disjoint paths: 6/10 per link.
+    pa.paths[1] = f.cube.makePath({0, 2, 3});
+    EXPECT_NEAR(ua.linkUtilization(pa, l01), 0.6, 1e-9);
+    EXPECT_NEAR(ua.analyze(pa).peak, 0.6, 1e-9);
+}
+
+TEST(UtilizationTest, SpotUtilizationCountsNoSlackMessages)
+{
+    // Make the two messages no-slack: duration == tau_c.
+    ParallelFixture f;
+    TaskFlowGraph g2;
+    const TaskId s1 = g2.addTask("s1", 100.0);
+    const TaskId s2 = g2.addTask("s2", 100.0);
+    const TaskId d1 = g2.addTask("d1", 100.0);
+    const TaskId d2 = g2.addTask("d2", 100.0);
+    g2.addMessage("m1", s1, d1, 640.0); // 10 us == tau_c
+    g2.addMessage("m2", s2, d2, 640.0);
+    const TimeBounds tb = computeTimeBounds(g2, f.alloc, f.tm, 40.0);
+    const IntervalSet ivs(tb);
+    UtilizationAnalyzer ua(tb, ivs, f.cube);
+
+    PathAssignment pa;
+    pa.paths.push_back(f.cube.makePath({0, 1, 3}));
+    pa.paths.push_back(f.cube.makePath({0, 1, 3}));
+    const LinkId l01 = f.cube.linkBetween(0, 1);
+    const std::size_t k = ivs.intervalAt(tb.messages[0].release);
+    EXPECT_DOUBLE_EQ(ua.spotUtilization(pa, l01, k), 2.0);
+    const UtilizationReport rep = ua.analyze(pa);
+    // Both the link ratio (20 us demand / 10 us window) and the
+    // hot-spot count are 2.0 here; the peak must report it either
+    // way.
+    EXPECT_DOUBLE_EQ(rep.peak, 2.0);
+
+    // Disjoint paths: one no-slack message per spot is *not*
+    // contention, so the peak is the link ratio (10/10 = 1).
+    pa.paths[1] = f.cube.makePath({0, 2, 3});
+    EXPECT_DOUBLE_EQ(ua.spotUtilization(pa, l01, k), 1.0);
+    EXPECT_NEAR(ua.analyze(pa).peak, 1.0, 1e-9);
+}
+
+TEST(UtilizationTest, UnusedLinkHasZeroUtilization)
+{
+    ParallelFixture f;
+    const TimeBounds tb =
+        computeTimeBounds(f.g, f.alloc, f.tm, 40.0);
+    const IntervalSet ivs(tb);
+    UtilizationAnalyzer ua(tb, ivs, f.cube);
+    PathAssignment pa;
+    pa.paths.push_back(f.cube.makePath({0, 1, 3}));
+    pa.paths.push_back(f.cube.makePath({0, 1, 3}));
+    const LinkId l23 = f.cube.linkBetween(2, 3);
+    EXPECT_DOUBLE_EQ(ua.linkUtilization(pa, l23), 0.0);
+}
+
+TEST(AssignPathsTest, FindsTheBalancedAssignment)
+{
+    ParallelFixture f;
+    const TimeBounds tb =
+        computeTimeBounds(f.g, f.alloc, f.tm, 40.0);
+    const IntervalSet ivs(tb);
+    const AssignPathsResult r =
+        assignPaths(f.g, f.cube, f.alloc, tb, ivs);
+    // The optimum splits the messages onto disjoint paths: 0.6.
+    EXPECT_NEAR(r.report.peak, 0.6, 1e-9);
+    EXPECT_NE(r.assignment.paths[0].nodes[1],
+              r.assignment.paths[1].nodes[1]);
+}
+
+TEST(AssignPathsTest, LsdBaselineUsesRoutingFunction)
+{
+    ParallelFixture f;
+    const TimeBounds tb =
+        computeTimeBounds(f.g, f.alloc, f.tm, 40.0);
+    const PathAssignment pa =
+        lsdToMsdAssignment(f.g, f.cube, f.alloc, tb);
+    ASSERT_EQ(pa.paths.size(), 2u);
+    for (const Path &p : pa.paths)
+        EXPECT_EQ(p.nodes, (std::vector<NodeId>{0, 1, 3}));
+}
+
+TEST(AssignPathsTest, AssignedPathsAreValidMinimalAndEndToEnd)
+{
+    const TaskFlowGraph g = buildDvbTfg({});
+    const auto cube = GeneralizedHypercube::binaryCube(6);
+    DvbParams dp;
+    TimingModel tm;
+    tm.apSpeed = dp.matchedApSpeed();
+    tm.bandwidth = 64.0;
+    const TaskAllocation alloc = alloc::roundRobin(g, cube, 13);
+    const TimeBounds tb =
+        computeTimeBounds(g, alloc, tm, 3.0 * tm.tauC(g));
+    const IntervalSet ivs(tb);
+    const AssignPathsResult r =
+        assignPaths(g, cube, alloc, tb, ivs);
+    ASSERT_EQ(r.assignment.paths.size(), tb.messages.size());
+    for (std::size_t i = 0; i < tb.messages.size(); ++i) {
+        const Message &m = g.message(tb.messages[i].msg);
+        const Path &p = r.assignment.paths[i];
+        EXPECT_TRUE(cube.validPath(p));
+        EXPECT_EQ(p.source(), alloc.nodeOf(m.src));
+        EXPECT_EQ(p.destination(), alloc.nodeOf(m.dst));
+        EXPECT_EQ(static_cast<int>(p.hops()),
+                  cube.distance(p.source(), p.destination()));
+    }
+}
+
+/**
+ * Property: across fabrics and loads, AssignPaths never ends up
+ * above the LSD-to-MSD baseline.
+ */
+class AssignPathsProperty : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(AssignPathsProperty, NeverWorseThanRoutingFunction)
+{
+    const double factor = GetParam();
+    const TaskFlowGraph g = buildDvbTfg({});
+    DvbParams dp;
+    TimingModel tm;
+    tm.apSpeed = dp.matchedApSpeed();
+
+    const auto cube = GeneralizedHypercube::binaryCube(6);
+    const Torus torus({8, 8});
+    for (const Topology *topo :
+         std::initializer_list<const Topology *>{&cube, &torus}) {
+        for (double bw : {64.0, 128.0}) {
+            tm.bandwidth = bw;
+            const TaskAllocation alloc =
+                alloc::roundRobin(g, *topo, 13);
+            const TimeBounds tb = computeTimeBounds(
+                g, alloc, tm, factor * tm.tauC(g));
+            const IntervalSet ivs(tb);
+            UtilizationAnalyzer ua(tb, ivs, *topo);
+            const double lsd =
+                ua.analyze(lsdToMsdAssignment(g, *topo, alloc, tb))
+                    .peak;
+            const double ap =
+                assignPaths(g, *topo, alloc, tb, ivs).report.peak;
+            EXPECT_LE(ap, lsd + 1e-9)
+                << topo->name() << " bw=" << bw
+                << " factor=" << factor;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(LoadFactors, AssignPathsProperty,
+                         ::testing::Values(1.0, 1.8, 2.7, 5.0));
+
+TEST(SubsetsTest, SharedLinkAndIntervalRelatesMessages)
+{
+    ParallelFixture f;
+    const TimeBounds tb =
+        computeTimeBounds(f.g, f.alloc, f.tm, 40.0);
+    const IntervalSet ivs(tb);
+    PathAssignment pa;
+    pa.paths.push_back(f.cube.makePath({0, 1, 3}));
+    pa.paths.push_back(f.cube.makePath({0, 1, 3}));
+    const auto subsets = computeMaximalSubsets(tb, ivs, pa);
+    ASSERT_EQ(subsets.size(), 1u);
+    EXPECT_EQ(subsets[0].members.size(), 2u);
+    EXPECT_EQ(subsets[0].links.size(), 2u);
+}
+
+TEST(SubsetsTest, DisjointPathsSeparateSubsets)
+{
+    ParallelFixture f;
+    const TimeBounds tb =
+        computeTimeBounds(f.g, f.alloc, f.tm, 40.0);
+    const IntervalSet ivs(tb);
+    PathAssignment pa;
+    pa.paths.push_back(f.cube.makePath({0, 1, 3}));
+    pa.paths.push_back(f.cube.makePath({0, 2, 3}));
+    const auto subsets = computeMaximalSubsets(tb, ivs, pa);
+    EXPECT_EQ(subsets.size(), 2u);
+}
+
+TEST(SubsetsTest, SharedLinkDifferentIntervalsUnrelated)
+{
+    // Chain A -> B -> C mapped so both messages use link 0-1 but in
+    // different windows: they are NOT related.
+    TaskFlowGraph g;
+    const TaskId a = g.addTask("A", 100.0);
+    const TaskId b = g.addTask("B", 100.0);
+    const TaskId c = g.addTask("C", 100.0);
+    g.addMessage("m1", a, b, 640.0);
+    g.addMessage("m2", b, c, 640.0);
+    TimingModel tm;
+    tm.apSpeed = 10.0;
+    tm.bandwidth = 64.0;
+    const Torus ring({4});
+    TaskAllocation alloc(3, 4);
+    alloc.assign(0, 0);
+    alloc.assign(1, 1);
+    alloc.assign(2, 0);
+    const TimeBounds tb = computeTimeBounds(g, alloc, tm, 40.0);
+    const IntervalSet ivs(tb);
+    PathAssignment pa;
+    pa.paths.push_back(ring.makePath({0, 1})); // [10,20)
+    pa.paths.push_back(ring.makePath({1, 0})); // [30,40)
+    const auto subsets = computeMaximalSubsets(tb, ivs, pa);
+    EXPECT_EQ(subsets.size(), 2u);
+}
+
+TEST(SubsetsTest, TransitivityMergesChains)
+{
+    // m1 shares with m2, m2 shares with m3 => all three together,
+    // even if m1 and m3 share nothing.
+    TaskFlowGraph g;
+    std::vector<TaskId> src, dst;
+    for (int i = 0; i < 3; ++i) {
+        src.push_back(g.addTask("s" + std::to_string(i), 100.0));
+        dst.push_back(g.addTask("d" + std::to_string(i), 100.0));
+        g.addMessage("m" + std::to_string(i), src[i], dst[i],
+                     320.0);
+    }
+    TimingModel tm;
+    tm.apSpeed = 10.0;
+    tm.bandwidth = 64.0;
+    const Torus ring({8});
+    TaskAllocation alloc(6, 8);
+    // m0: 0->2, m1: 1->3, m2: 2->4; consecutive routes overlap.
+    alloc.assign(src[0], 0);
+    alloc.assign(dst[0], 2);
+    alloc.assign(src[1], 1);
+    alloc.assign(dst[1], 3);
+    alloc.assign(src[2], 2);
+    alloc.assign(dst[2], 4);
+    const TimeBounds tb = computeTimeBounds(g, alloc, tm, 60.0);
+    const IntervalSet ivs(tb);
+    PathAssignment pa;
+    pa.paths.push_back(ring.makePath({0, 1, 2}));
+    pa.paths.push_back(ring.makePath({1, 2, 3}));
+    pa.paths.push_back(ring.makePath({2, 3, 4}));
+    const auto subsets = computeMaximalSubsets(tb, ivs, pa);
+    ASSERT_EQ(subsets.size(), 1u);
+    EXPECT_EQ(subsets[0].members.size(), 3u);
+}
+
+TEST(SubsetsTest, SubsetsPartitionAllMessages)
+{
+    const TaskFlowGraph g = buildDvbTfg({});
+    const Torus torus({4, 4, 4});
+    DvbParams dp;
+    TimingModel tm;
+    tm.apSpeed = dp.matchedApSpeed();
+    tm.bandwidth = 128.0;
+    const TaskAllocation alloc = alloc::roundRobin(g, torus, 13);
+    const TimeBounds tb =
+        computeTimeBounds(g, alloc, tm, 2.0 * tm.tauC(g));
+    const IntervalSet ivs(tb);
+    const AssignPathsResult r =
+        assignPaths(g, torus, alloc, tb, ivs);
+    const auto subsets =
+        computeMaximalSubsets(tb, ivs, r.assignment);
+    std::vector<int> seen(tb.messages.size(), 0);
+    for (const MessageSubset &s : subsets)
+        for (std::size_t i : s.members)
+            ++seen[i];
+    for (int c : seen)
+        EXPECT_EQ(c, 1);
+}
+
+} // namespace
+} // namespace srsim

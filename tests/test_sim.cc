@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tests for the discrete-event kernel and the statistics helpers.
+ */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace srsim {
+namespace {
+
+TEST(EventQueueTest, ExecutesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(3.0, [&] { order.push_back(3); });
+    eq.schedule(1.0, [&] { order.push_back(1); });
+    eq.schedule(2.0, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_DOUBLE_EQ(eq.now(), 3.0);
+}
+
+TEST(EventQueueTest, FifoTieBreakAtSameInstant)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        eq.schedule(1.0, [&order, i] { order.push_back(i); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, EventsCanScheduleEvents)
+{
+    EventQueue eq;
+    std::vector<double> times;
+    eq.schedule(1.0, [&] {
+        times.push_back(eq.now());
+        eq.scheduleAfter(2.0, [&] { times.push_back(eq.now()); });
+    });
+    eq.run();
+    ASSERT_EQ(times.size(), 2u);
+    EXPECT_DOUBLE_EQ(times[1], 3.0);
+}
+
+TEST(EventQueueTest, SchedulingIntoThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(5.0, [] {});
+    eq.run();
+    EXPECT_THROW(eq.schedule(4.0, [] {}), PanicError);
+}
+
+TEST(EventQueueTest, RunUntilStopsAtBoundary)
+{
+    EventQueue eq;
+    int count = 0;
+    for (double t : {1.0, 2.0, 3.0, 4.0})
+        eq.schedule(t, [&] { ++count; });
+    eq.runUntil(2.5);
+    EXPECT_EQ(count, 2);
+    EXPECT_EQ(eq.pending(), 2u);
+    eq.run();
+    EXPECT_EQ(count, 4);
+}
+
+TEST(EventQueueTest, RunWithLimit)
+{
+    EventQueue eq;
+    int count = 0;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(i, [&] { ++count; });
+    EXPECT_EQ(eq.run(3), 3u);
+    EXPECT_EQ(count, 3);
+}
+
+TEST(SeriesStatsTest, MinMeanMax)
+{
+    SeriesStats s;
+    s.add(2.0);
+    s.add(6.0);
+    s.add(4.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 6.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(s.spread(), 4.0);
+    EXPECT_EQ(s.count(), 3u);
+}
+
+TEST(SeriesStatsTest, ConstantDetection)
+{
+    SeriesStats s;
+    s.add(5.0);
+    s.add(5.0 + kTimeEps / 10);
+    EXPECT_TRUE(s.constant());
+    s.add(5.1);
+    EXPECT_FALSE(s.constant());
+}
+
+TEST(SeriesStatsTest, EmptyStatsPanics)
+{
+    SeriesStats s;
+    EXPECT_THROW(s.min(), PanicError);
+    EXPECT_THROW(s.mean(), PanicError);
+}
+
+} // namespace
+} // namespace srsim

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Unit and property tests for the two-phase simplex LP solver.
+ */
+
+#include <gtest/gtest.h>
+
+#include "solver/lp.hh"
+#include "util/rng.hh"
+
+namespace srsim {
+namespace {
+
+using lp::Problem;
+using lp::Relation;
+using lp::Solution;
+using lp::Status;
+
+TEST(LpTest, TrivialUnconstrainedMinimumIsZero)
+{
+    Problem p;
+    p.addVariable(1.0);
+    const Solution s = lp::solve(p);
+    ASSERT_EQ(s.status, Status::Optimal);
+    EXPECT_NEAR(s.objective, 0.0, 1e-9);
+    EXPECT_NEAR(s.values[0], 0.0, 1e-9);
+}
+
+TEST(LpTest, SimpleMaximizationViaNegatedCosts)
+{
+    // max 3x + 2y s.t. x + y <= 4, x + 3y <= 6  ->  min -3x - 2y.
+    Problem p;
+    const auto x = p.addVariable(-3.0, "x");
+    const auto y = p.addVariable(-2.0, "y");
+    p.addConstraint({{x, 1.0}, {y, 1.0}}, Relation::LessEq, 4.0);
+    p.addConstraint({{x, 1.0}, {y, 3.0}}, Relation::LessEq, 6.0);
+    const Solution s = lp::solve(p);
+    ASSERT_EQ(s.status, Status::Optimal);
+    EXPECT_NEAR(s.objective, -12.0, 1e-6); // x=4, y=0
+    EXPECT_NEAR(s.values[x], 4.0, 1e-6);
+    EXPECT_NEAR(s.values[y], 0.0, 1e-6);
+}
+
+TEST(LpTest, EqualityConstraintRespected)
+{
+    // min x + 2y s.t. x + y = 3, y >= 1.
+    Problem p;
+    const auto x = p.addVariable(1.0, "x");
+    const auto y = p.addVariable(2.0, "y");
+    p.addConstraint({{x, 1.0}, {y, 1.0}}, Relation::Equal, 3.0);
+    p.addConstraint({{y, 1.0}}, Relation::GreaterEq, 1.0);
+    const Solution s = lp::solve(p);
+    ASSERT_EQ(s.status, Status::Optimal);
+    EXPECT_NEAR(s.values[x] + s.values[y], 3.0, 1e-6);
+    EXPECT_NEAR(s.values[y], 1.0, 1e-6);
+    EXPECT_NEAR(s.objective, 4.0, 1e-6);
+}
+
+TEST(LpTest, InfeasibleDetected)
+{
+    // x <= 1 and x >= 2 cannot both hold.
+    Problem p;
+    const auto x = p.addVariable(1.0, "x");
+    p.addConstraint({{x, 1.0}}, Relation::LessEq, 1.0);
+    p.addConstraint({{x, 1.0}}, Relation::GreaterEq, 2.0);
+    EXPECT_EQ(lp::solve(p).status, Status::Infeasible);
+}
+
+TEST(LpTest, InfeasibleEqualitySystemDetected)
+{
+    // x + y = 1 and x + y = 2.
+    Problem p;
+    const auto x = p.addVariable(0.0);
+    const auto y = p.addVariable(0.0);
+    p.addConstraint({{x, 1.0}, {y, 1.0}}, Relation::Equal, 1.0);
+    p.addConstraint({{x, 1.0}, {y, 1.0}}, Relation::Equal, 2.0);
+    EXPECT_EQ(lp::solve(p).status, Status::Infeasible);
+}
+
+TEST(LpTest, UnboundedDetected)
+{
+    // min -x with only x >= 1: x can grow without bound.
+    Problem p;
+    const auto x = p.addVariable(-1.0);
+    p.addConstraint({{x, 1.0}}, Relation::GreaterEq, 1.0);
+    EXPECT_EQ(lp::solve(p).status, Status::Unbounded);
+}
+
+TEST(LpTest, NegativeRhsNormalized)
+{
+    // -x <= -2  <=>  x >= 2; min x -> 2.
+    Problem p;
+    const auto x = p.addVariable(1.0);
+    p.addConstraint({{x, -1.0}}, Relation::LessEq, -2.0);
+    const Solution s = lp::solve(p);
+    ASSERT_EQ(s.status, Status::Optimal);
+    EXPECT_NEAR(s.values[x], 2.0, 1e-6);
+}
+
+TEST(LpTest, RedundantConstraintsHandled)
+{
+    Problem p;
+    const auto x = p.addVariable(1.0);
+    p.addConstraint({{x, 1.0}}, Relation::GreaterEq, 1.0);
+    p.addConstraint({{x, 2.0}}, Relation::GreaterEq, 2.0); // same
+    p.addConstraint({{x, 1.0}}, Relation::LessEq, 5.0);
+    const Solution s = lp::solve(p);
+    ASSERT_EQ(s.status, Status::Optimal);
+    EXPECT_NEAR(s.values[x], 1.0, 1e-6);
+}
+
+TEST(LpTest, DegenerateVertexTerminates)
+{
+    // Classic degeneracy: multiple constraints meet at the optimum.
+    Problem p;
+    const auto x = p.addVariable(-1.0);
+    const auto y = p.addVariable(-1.0);
+    p.addConstraint({{x, 1.0}}, Relation::LessEq, 1.0);
+    p.addConstraint({{y, 1.0}}, Relation::LessEq, 1.0);
+    p.addConstraint({{x, 1.0}, {y, 1.0}}, Relation::LessEq, 2.0);
+    p.addConstraint({{x, 1.0}, {y, 2.0}}, Relation::LessEq, 3.0);
+    const Solution s = lp::solve(p);
+    ASSERT_EQ(s.status, Status::Optimal);
+    EXPECT_NEAR(s.objective, -2.0, 1e-6);
+}
+
+TEST(LpTest, TransportationLikeProblem)
+{
+    // Two suppliers (cap 10, 20), two demands (8, 12); minimize
+    // transport cost; classic LP with known optimum.
+    Problem p;
+    const auto x11 = p.addVariable(1.0);
+    const auto x12 = p.addVariable(4.0);
+    const auto x21 = p.addVariable(2.0);
+    const auto x22 = p.addVariable(1.0);
+    p.addConstraint({{x11, 1.0}, {x12, 1.0}}, Relation::LessEq, 10.0);
+    p.addConstraint({{x21, 1.0}, {x22, 1.0}}, Relation::LessEq, 20.0);
+    p.addConstraint({{x11, 1.0}, {x21, 1.0}}, Relation::Equal, 8.0);
+    p.addConstraint({{x12, 1.0}, {x22, 1.0}}, Relation::Equal, 12.0);
+    const Solution s = lp::solve(p);
+    ASSERT_EQ(s.status, Status::Optimal);
+    // Optimal: x11=8 (cost 8), x22=12 (cost 12) -> 20.
+    EXPECT_NEAR(s.objective, 20.0, 1e-6);
+}
+
+TEST(LpTest, SolutionValuesNonNegative)
+{
+    Problem p;
+    const auto x = p.addVariable(-1.0);
+    const auto y = p.addVariable(1.0);
+    p.addConstraint({{x, 1.0}, {y, -1.0}}, Relation::LessEq, 2.0);
+    p.addConstraint({{x, 1.0}}, Relation::LessEq, 3.0);
+    const Solution s = lp::solve(p);
+    ASSERT_EQ(s.status, Status::Optimal);
+    for (double v : s.values)
+        EXPECT_GE(v, -1e-9);
+}
+
+TEST(LpTest, ConstraintWithUnknownVariablePanics)
+{
+    Problem p;
+    p.addVariable(1.0);
+    lp::Constraint c;
+    c.terms.emplace_back(5, 1.0);
+    EXPECT_THROW(p.addConstraint(std::move(c)), PanicError);
+}
+
+/**
+ * Property suite: random feasibility problems built from a known
+ * feasible point must be reported feasible, and the returned
+ * solution must satisfy every constraint.
+ */
+class LpRandomFeasible : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(LpRandomFeasible, SolutionSatisfiesAllConstraints)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()));
+    const int nvar = rng.uniformInt(3, 10);
+    const int ncon = rng.uniformInt(2, 12);
+
+    Problem p;
+    std::vector<double> feas;
+    for (int i = 0; i < nvar; ++i) {
+        p.addVariable(rng.uniformReal(-2.0, 2.0));
+        feas.push_back(rng.uniformReal(0.0, 5.0));
+    }
+    std::vector<lp::Constraint> cons;
+    for (int c = 0; c < ncon; ++c) {
+        lp::Constraint con;
+        double lhs = 0.0;
+        for (int i = 0; i < nvar; ++i) {
+            if (rng.chance(0.6)) {
+                const double a = rng.uniformReal(-3.0, 3.0);
+                con.terms.emplace_back(static_cast<std::size_t>(i),
+                                       a);
+                lhs += a * feas[static_cast<std::size_t>(i)];
+            }
+        }
+        if (con.terms.empty())
+            continue;
+        // Make the constraint hold at the feasible point.
+        if (rng.chance(0.5)) {
+            con.rel = Relation::LessEq;
+            con.rhs = lhs + rng.uniformReal(0.0, 4.0);
+        } else {
+            con.rel = Relation::GreaterEq;
+            con.rhs = lhs - rng.uniformReal(0.0, 4.0);
+        }
+        cons.push_back(con);
+        p.addConstraint(con);
+    }
+    // Bound every variable so the LP cannot be unbounded.
+    for (int i = 0; i < nvar; ++i) {
+        lp::Constraint bound;
+        bound.terms.emplace_back(static_cast<std::size_t>(i), 1.0);
+        bound.rel = Relation::LessEq;
+        bound.rhs = 50.0;
+        cons.push_back(bound);
+        p.addConstraint(bound);
+    }
+
+    const Solution s = lp::solve(p);
+    ASSERT_EQ(s.status, Status::Optimal) << "seed " << GetParam();
+    for (const auto &con : cons) {
+        double lhs = 0.0;
+        for (const auto &[idx, a] : con.terms)
+            lhs += a * s.values[idx];
+        if (con.rel == Relation::LessEq)
+            EXPECT_LE(lhs, con.rhs + 1e-6);
+        else if (con.rel == Relation::GreaterEq)
+            EXPECT_GE(lhs, con.rhs - 1e-6);
+        else
+            EXPECT_NEAR(lhs, con.rhs, 1e-6);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LpRandomFeasible,
+                         ::testing::Range(1, 26));
+
+} // namespace
+} // namespace srsim

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Tests for the task-flow-graph substrate: graph construction,
+ * precedence, timing, the DVB workload, and the random generator.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "tfg/dvb.hh"
+#include "tfg/random_tfg.hh"
+#include "tfg/tfg.hh"
+#include "tfg/timing.hh"
+#include "util/rng.hh"
+
+namespace srsim {
+namespace {
+
+TaskFlowGraph
+diamond()
+{
+    // a -> b, a -> c, b -> d, c -> d.
+    TaskFlowGraph g;
+    const TaskId a = g.addTask("a", 100.0);
+    const TaskId b = g.addTask("b", 200.0);
+    const TaskId c = g.addTask("c", 150.0);
+    const TaskId d = g.addTask("d", 120.0);
+    g.addMessage("ab", a, b, 64.0);
+    g.addMessage("ac", a, c, 128.0);
+    g.addMessage("bd", b, d, 64.0);
+    g.addMessage("cd", c, d, 256.0);
+    return g;
+}
+
+TEST(TfgTest, BasicCountsAndAccessors)
+{
+    const TaskFlowGraph g = diamond();
+    EXPECT_EQ(g.numTasks(), 4);
+    EXPECT_EQ(g.numMessages(), 4);
+    EXPECT_EQ(g.task(1).name, "b");
+    EXPECT_EQ(g.message(3).name, "cd");
+    EXPECT_EQ(g.incoming(3).size(), 2u);
+    EXPECT_EQ(g.outgoing(0).size(), 2u);
+}
+
+TEST(TfgTest, InputAndOutputTasks)
+{
+    const TaskFlowGraph g = diamond();
+    EXPECT_EQ(g.inputTasks(), std::vector<TaskId>{0});
+    EXPECT_EQ(g.outputTasks(), std::vector<TaskId>{3});
+}
+
+TEST(TfgTest, RejectsBadInputs)
+{
+    TaskFlowGraph g;
+    EXPECT_THROW(g.addTask("zero", 0.0), FatalError);
+    const TaskId a = g.addTask("a", 1.0);
+    const TaskId b = g.addTask("b", 1.0);
+    EXPECT_THROW(g.addMessage("self", a, a, 10.0), FatalError);
+    EXPECT_THROW(g.addMessage("empty", a, b, 0.0), FatalError);
+}
+
+TEST(TfgTest, CycleDetection)
+{
+    TaskFlowGraph g;
+    const TaskId a = g.addTask("a", 1.0);
+    const TaskId b = g.addTask("b", 1.0);
+    const TaskId c = g.addTask("c", 1.0);
+    g.addMessage("ab", a, b, 1.0);
+    g.addMessage("bc", b, c, 1.0);
+    EXPECT_TRUE(g.isAcyclic());
+    g.addMessage("ca", c, a, 1.0);
+    EXPECT_FALSE(g.isAcyclic());
+    EXPECT_THROW(g.topologicalOrder(), FatalError);
+}
+
+TEST(TfgTest, TopologicalOrderRespectsPrecedence)
+{
+    const TaskFlowGraph g = diamond();
+    const auto order = g.topologicalOrder();
+    ASSERT_EQ(order.size(), 4u);
+    std::vector<int> pos(4);
+    for (int i = 0; i < 4; ++i)
+        pos[static_cast<std::size_t>(order[
+            static_cast<std::size_t>(i)])] = i;
+    for (const Message &m : g.messages())
+        EXPECT_LT(pos[static_cast<std::size_t>(m.src)],
+                  pos[static_cast<std::size_t>(m.dst)]);
+}
+
+TEST(TfgTest, MaxWeights)
+{
+    const TaskFlowGraph g = diamond();
+    EXPECT_DOUBLE_EQ(g.maxOperations(), 200.0);
+    EXPECT_DOUBLE_EQ(g.maxBytes(), 256.0);
+}
+
+TEST(TfgTest, DotOutputMentionsEveryTaskAndMessage)
+{
+    const TaskFlowGraph g = diamond();
+    std::ostringstream oss;
+    g.writeDot(oss);
+    const std::string s = oss.str();
+    for (const Task &t : g.tasks())
+        EXPECT_NE(s.find(t.name), std::string::npos);
+    for (const Message &m : g.messages())
+        EXPECT_NE(s.find(m.name), std::string::npos);
+}
+
+TEST(TimingTest, TaskAndMessageTimes)
+{
+    const TaskFlowGraph g = diamond();
+    TimingModel tm;
+    tm.apSpeed = 10.0;
+    tm.bandwidth = 64.0;
+    EXPECT_DOUBLE_EQ(tm.taskTime(g, 0), 10.0);
+    EXPECT_DOUBLE_EQ(tm.messageTime(g, 3), 4.0);
+    EXPECT_DOUBLE_EQ(tm.tauC(g), 20.0);
+    EXPECT_DOUBLE_EQ(tm.tauM(g), 4.0);
+}
+
+TEST(TimingTest, EagerScheduleIsCriticalPath)
+{
+    const TaskFlowGraph g = diamond();
+    TimingModel tm;
+    tm.apSpeed = 10.0;
+    tm.bandwidth = 64.0;
+    const InvocationTiming t = computeInvocationTiming(g, tm);
+    // a: [0,10]; ab arrives 11 -> b: [11,31]; ac arrives 12 ->
+    // c: [12,27]; bd arrives 32, cd arrives 31 -> d: [32,44].
+    EXPECT_DOUBLE_EQ(t.eagerStart[1], 11.0);
+    EXPECT_DOUBLE_EQ(t.eagerStart[2], 12.0);
+    EXPECT_DOUBLE_EQ(t.eagerStart[3], 32.0);
+    EXPECT_DOUBLE_EQ(t.criticalPath, 44.0);
+}
+
+TEST(TimingTest, WindowScheduleUsesTauCPerMessage)
+{
+    const TaskFlowGraph g = diamond();
+    TimingModel tm;
+    tm.apSpeed = 10.0;
+    tm.bandwidth = 64.0;
+    const InvocationTiming t = computeInvocationTiming(g, tm);
+    // tau_c = 20. a: [0,10]; b: [30,50]; c: [30,45]; d starts at
+    // max(50,45)+20 = 70, ends 82.
+    EXPECT_DOUBLE_EQ(t.windowStart[1], 30.0);
+    EXPECT_DOUBLE_EQ(t.windowStart[3], 70.0);
+    EXPECT_DOUBLE_EQ(t.windowLatency, 82.0);
+    EXPECT_GE(t.windowLatency, t.criticalPath);
+}
+
+TEST(DvbTest, StructureMatchesFigure1)
+{
+    DvbParams params;
+    const TaskFlowGraph g = buildDvbTfg(params);
+    // 1 input + n models + 8 chain tasks.
+    EXPECT_EQ(g.numTasks(), 1 + params.numModels + 8);
+    // n a-messages + n b-messages + 7 chain messages.
+    EXPECT_EQ(g.numMessages(), 2 * params.numModels + 7);
+    EXPECT_TRUE(g.isAcyclic());
+    EXPECT_EQ(g.inputTasks().size(), 1u);
+    EXPECT_EQ(g.outputTasks().size(), 1u);
+    EXPECT_DOUBLE_EQ(g.maxOperations(), params.inputOps);
+    EXPECT_DOUBLE_EQ(g.maxBytes(), params.bytesC);
+}
+
+TEST(DvbTest, LegibleConstantsOfFigure1)
+{
+    const DvbParams p;
+    EXPECT_DOUBLE_EQ(p.inputOps, 1925.0);
+    EXPECT_DOUBLE_EQ(p.modelOps, 400.0);
+    EXPECT_DOUBLE_EQ(p.bytesA, 192.0);
+    EXPECT_DOUBLE_EQ(p.bytesB, 1536.0);
+    EXPECT_DOUBLE_EQ(p.bytesC, 3200.0);
+    EXPECT_DOUBLE_EQ(p.bytesH, 768.0);
+    EXPECT_DOUBLE_EQ(p.bytesI, 384.0);
+}
+
+TEST(DvbTest, MatchedSpeedCalibratesTauMOverTauC)
+{
+    DvbParams params;
+    const TaskFlowGraph g = buildDvbTfg(params);
+    TimingModel tm;
+    tm.apSpeed = params.matchedApSpeed();
+    tm.bandwidth = 64.0;
+    EXPECT_NEAR(tm.tauM(g) / tm.tauC(g), 1.0, 1e-12);
+    tm.bandwidth = 128.0;
+    EXPECT_NEAR(tm.tauM(g) / tm.tauC(g), 0.5, 1e-12);
+}
+
+TEST(DvbTest, RejectsBadParameters)
+{
+    DvbParams p;
+    p.numModels = 0;
+    EXPECT_THROW(buildDvbTfg(p), FatalError);
+    DvbParams q;
+    q.chainOps = {1.0, 2.0};
+    EXPECT_THROW(buildDvbTfg(q), FatalError);
+}
+
+TEST(RandomTfgTest, RejectsBadParameters)
+{
+    Rng rng(1);
+    RandomTfgParams p;
+    p.layers = 1;
+    EXPECT_THROW(buildRandomTfg(p, rng), FatalError);
+    RandomTfgParams q;
+    q.minWidth = 3;
+    q.maxWidth = 2;
+    EXPECT_THROW(buildRandomTfg(q, rng), FatalError);
+}
+
+class RandomTfgProperty : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(RandomTfgProperty, GeneratedGraphsAreWellFormed)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()));
+    RandomTfgParams p;
+    p.layers = rng.uniformInt(2, 6);
+    p.maxWidth = rng.uniformInt(1, 5);
+    p.minWidth = 1;
+    const TaskFlowGraph g = buildRandomTfg(p, rng);
+
+    EXPECT_TRUE(g.isAcyclic());
+    EXPECT_GE(g.numTasks(), p.layers);
+    EXPECT_FALSE(g.inputTasks().empty());
+    EXPECT_FALSE(g.outputTasks().empty());
+    // Weights within the configured ranges.
+    for (const Task &t : g.tasks()) {
+        EXPECT_GE(t.operations, p.minOps);
+        EXPECT_LE(t.operations, p.maxOps);
+    }
+    for (const Message &m : g.messages()) {
+        EXPECT_GE(m.bytes, p.minBytes);
+        EXPECT_LE(m.bytes, p.maxBytes);
+    }
+    // The window schedule dominates the eager one.
+    TimingModel tm;
+    tm.apSpeed = 10.0;
+    tm.bandwidth = 64.0;
+    const InvocationTiming t = computeInvocationTiming(g, tm);
+    EXPECT_GE(t.windowLatency + 1e-9, t.criticalPath);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTfgProperty,
+                         ::testing::Range(1, 21));
+
+} // namespace
+} // namespace srsim

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Tests for message time bounds (Sec. 4) and the frame interval
+ * decomposition / activity matrix (Sec. 5.1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/intervals.hh"
+#include "core/time_bounds.hh"
+#include "mapping/allocation.hh"
+#include "tfg/dvb.hh"
+#include "topology/generalized_hypercube.hh"
+
+namespace srsim {
+namespace {
+
+/** A -> B -> C chain, 10 us tasks, 10 us messages, on a 3-cube. */
+struct ChainFixture
+{
+    TaskFlowGraph g;
+    GeneralizedHypercube cube = GeneralizedHypercube::binaryCube(3);
+    TimingModel tm;
+    TaskAllocation alloc{3, 8};
+
+    ChainFixture()
+    {
+        const TaskId a = g.addTask("A", 100.0);
+        const TaskId b = g.addTask("B", 100.0);
+        const TaskId c = g.addTask("C", 100.0);
+        g.addMessage("m1", a, b, 640.0);
+        g.addMessage("m2", b, c, 640.0);
+        tm.apSpeed = 10.0;
+        tm.bandwidth = 64.0;
+        alloc.assign(0, 0);
+        alloc.assign(1, 1);
+        alloc.assign(2, 3);
+    }
+};
+
+TEST(TimeBoundsTest, ReleaseAndDeadlineWithoutWrap)
+{
+    ChainFixture f;
+    // tau_c = 10; period 40. Window schedule: A [0,10]; B [20,30];
+    // C [40,50]. m1 released at 10, deadline 20. m2 released at
+    // 30, deadline 40.
+    const TimeBounds tb =
+        computeTimeBounds(f.g, f.alloc, f.tm, 40.0);
+    ASSERT_EQ(tb.messages.size(), 2u);
+    EXPECT_DOUBLE_EQ(tb.tauC, 10.0);
+    const MessageBounds &m1 = tb.messages[0];
+    EXPECT_DOUBLE_EQ(m1.release, 10.0);
+    EXPECT_DOUBLE_EQ(m1.deadline, 20.0);
+    EXPECT_DOUBLE_EQ(m1.duration, 10.0);
+    ASSERT_EQ(m1.windows.size(), 1u);
+    EXPECT_TRUE(m1.noSlack()); // duration == window length
+    const MessageBounds &m2 = tb.messages[1];
+    EXPECT_DOUBLE_EQ(m2.release, 30.0);
+    EXPECT_DOUBLE_EQ(m2.deadline, 40.0);
+}
+
+TEST(TimeBoundsTest, WrappedWindowSplitsIntoTwo)
+{
+    ChainFixture f;
+    // Period 35: m2 absolute release 30 -> window [30, 40] wraps:
+    // [30, 35) and [0, 5).
+    const TimeBounds tb =
+        computeTimeBounds(f.g, f.alloc, f.tm, 35.0);
+    const MessageBounds &m2 = tb.messages[1];
+    EXPECT_DOUBLE_EQ(m2.release, 30.0);
+    EXPECT_DOUBLE_EQ(m2.deadline, 5.0);
+    ASSERT_EQ(m2.windows.size(), 2u);
+    EXPECT_DOUBLE_EQ(m2.windows[0].start, 30.0);
+    EXPECT_DOUBLE_EQ(m2.windows[0].end, 35.0);
+    EXPECT_DOUBLE_EQ(m2.windows[1].start, 0.0);
+    EXPECT_DOUBLE_EQ(m2.windows[1].end, 5.0);
+    EXPECT_DOUBLE_EQ(m2.activeTime(), 10.0);
+}
+
+TEST(TimeBoundsTest, ReleaseFoldsModuloPeriod)
+{
+    ChainFixture f;
+    // Period 25: m2 absolute release 30 folds to 5.
+    const TimeBounds tb =
+        computeTimeBounds(f.g, f.alloc, f.tm, 25.0);
+    const MessageBounds &m2 = tb.messages[1];
+    EXPECT_DOUBLE_EQ(m2.absoluteRelease, 30.0);
+    EXPECT_DOUBLE_EQ(m2.release, 5.0);
+    EXPECT_DOUBLE_EQ(m2.deadline, 15.0);
+    ASSERT_EQ(m2.windows.size(), 1u);
+}
+
+TEST(TimeBoundsTest, CoLocatedMessagesExcluded)
+{
+    ChainFixture f;
+    f.alloc.assign(1, 0); // B with A: m1 local
+    const TimeBounds tb =
+        computeTimeBounds(f.g, f.alloc, f.tm, 40.0);
+    ASSERT_EQ(tb.messages.size(), 1u);
+    EXPECT_EQ(tb.messages[0].msg, 1);
+    EXPECT_EQ(tb.indexOf[0], -1);
+    EXPECT_EQ(tb.indexOf[1], 0);
+    EXPECT_EQ(tb.boundsFor(0), nullptr);
+    EXPECT_NE(tb.boundsFor(1), nullptr);
+}
+
+TEST(TimeBoundsTest, PeriodBelowTauCIsFatal)
+{
+    ChainFixture f;
+    EXPECT_THROW(computeTimeBounds(f.g, f.alloc, f.tm, 5.0),
+                 FatalError);
+}
+
+TEST(TimeBoundsTest, MessageLongerThanTauCIsFatal)
+{
+    TaskFlowGraph g;
+    const TaskId a = g.addTask("A", 10.0); // 1 us at speed 10
+    const TaskId b = g.addTask("B", 10.0);
+    g.addMessage("huge", a, b, 6400.0); // 100 us >> tau_c
+    TimingModel tm;
+    tm.apSpeed = 10.0;
+    tm.bandwidth = 64.0;
+    TaskAllocation alloc(2, 8);
+    alloc.assign(0, 0);
+    alloc.assign(1, 1);
+    EXPECT_THROW(computeTimeBounds(g, alloc, tm, 200.0), FatalError);
+}
+
+TEST(TimeBoundsTest, ActiveAtRespectsWindows)
+{
+    ChainFixture f;
+    const TimeBounds tb =
+        computeTimeBounds(f.g, f.alloc, f.tm, 35.0);
+    const MessageBounds &m2 = tb.messages[1]; // [30,35) + [0,5)
+    EXPECT_TRUE(m2.activeAt(31.0));
+    EXPECT_TRUE(m2.activeAt(2.0));
+    EXPECT_FALSE(m2.activeAt(10.0));
+    EXPECT_FALSE(m2.activeAt(29.0));
+}
+
+TEST(TimeBoundsTest, CriticalPathAndWindowLatencyExported)
+{
+    ChainFixture f;
+    const TimeBounds tb =
+        computeTimeBounds(f.g, f.alloc, f.tm, 40.0);
+    // Eager: A[0,10], m1 +10, B[20,30], m2 +10, C[40,50].
+    EXPECT_DOUBLE_EQ(tb.criticalPath, 50.0);
+    EXPECT_DOUBLE_EQ(tb.windowLatency, 50.0); // tau_c == msg time
+}
+
+TEST(IntervalSetTest, EndpointsPartitionTheFrame)
+{
+    ChainFixture f;
+    const TimeBounds tb =
+        computeTimeBounds(f.g, f.alloc, f.tm, 40.0);
+    const IntervalSet ivs(tb);
+    // Endpoints {0, 10, 20, 30, 40}: four intervals.
+    ASSERT_EQ(ivs.size(), 4u);
+    Time total = 0.0;
+    for (std::size_t k = 0; k < ivs.size(); ++k) {
+        EXPECT_GT(ivs.interval(k).length(), 0.0);
+        if (k > 0) {
+            EXPECT_DOUBLE_EQ(ivs.interval(k).start,
+                             ivs.interval(k - 1).end);
+        }
+        total += ivs.interval(k).length();
+    }
+    EXPECT_DOUBLE_EQ(total, 40.0);
+}
+
+TEST(IntervalSetTest, ActivityMatrixMatchesWindows)
+{
+    ChainFixture f;
+    const TimeBounds tb =
+        computeTimeBounds(f.g, f.alloc, f.tm, 40.0);
+    const IntervalSet ivs(tb);
+    // m1 active exactly in [10,20) = interval 1; m2 in [30,40) =
+    // interval 3.
+    EXPECT_FALSE(ivs.active(0, 0));
+    EXPECT_TRUE(ivs.active(0, 1));
+    EXPECT_FALSE(ivs.active(0, 2));
+    EXPECT_FALSE(ivs.active(0, 3));
+    EXPECT_TRUE(ivs.active(1, 3));
+    EXPECT_EQ(ivs.activeIntervals(0), std::vector<std::size_t>{1});
+    EXPECT_EQ(ivs.activeMessages(3), std::vector<std::size_t>{1});
+}
+
+TEST(IntervalSetTest, WrappedWindowActivity)
+{
+    ChainFixture f;
+    const TimeBounds tb =
+        computeTimeBounds(f.g, f.alloc, f.tm, 35.0);
+    const IntervalSet ivs(tb);
+    // m2 windows [30,35) and [0,5): active in first and last
+    // intervals.
+    const auto active = ivs.activeIntervals(1);
+    ASSERT_EQ(active.size(), 2u);
+    EXPECT_EQ(active.front(), 0u);
+    EXPECT_EQ(active.back(), ivs.size() - 1);
+}
+
+TEST(IntervalSetTest, IntervalAtLookup)
+{
+    ChainFixture f;
+    const TimeBounds tb =
+        computeTimeBounds(f.g, f.alloc, f.tm, 40.0);
+    const IntervalSet ivs(tb);
+    EXPECT_EQ(ivs.intervalAt(0.0), 0u);
+    EXPECT_EQ(ivs.intervalAt(15.0), 1u);
+    EXPECT_EQ(ivs.intervalAt(39.9), 3u);
+    EXPECT_EQ(ivs.intervalAt(40.0), 3u); // frame end
+    EXPECT_THROW(ivs.intervalAt(41.0), PanicError);
+}
+
+TEST(IntervalSetTest, DvbFrameCoverageProperty)
+{
+    const TaskFlowGraph g = buildDvbTfg({});
+    const auto cube = GeneralizedHypercube::binaryCube(6);
+    DvbParams dp;
+    TimingModel tm;
+    tm.apSpeed = dp.matchedApSpeed();
+    tm.bandwidth = 64.0;
+    TaskAllocation alloc = alloc::roundRobin(g, cube, 13);
+    for (double factor : {1.0, 1.7, 3.1, 5.0}) {
+        const Time period = tm.tauC(g) * factor;
+        const TimeBounds tb = computeTimeBounds(g, alloc, tm, period);
+        const IntervalSet ivs(tb);
+        Time total = 0.0;
+        for (std::size_t k = 0; k < ivs.size(); ++k)
+            total += ivs.interval(k).length();
+        EXPECT_NEAR(total, period, 1e-6);
+        // Every message is active exactly where its windows say.
+        for (std::size_t i = 0; i < tb.messages.size(); ++i) {
+            Time active_len = 0.0;
+            for (std::size_t k : ivs.activeIntervals(i))
+                active_len += ivs.interval(k).length();
+            EXPECT_NEAR(active_len, tb.messages[i].activeTime(),
+                        1e-6);
+        }
+    }
+}
+
+} // namespace
+} // namespace srsim

@@ -1,0 +1,352 @@
+/**
+ * @file
+ * Unit and property tests for the topology substrate: generalized
+ * hypercubes, tori, meshes, path enumeration, and the LSD-to-MSD
+ * routing function.
+ */
+
+#include <algorithm>
+#include <memory>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "topology/generalized_hypercube.hh"
+#include "topology/mesh.hh"
+#include "topology/mixed_radix.hh"
+#include "topology/torus.hh"
+#include "util/rng.hh"
+
+namespace srsim {
+namespace {
+
+TEST(MixedRadixTest, RoundTrip)
+{
+    MixedRadix mr({4, 4, 4});
+    EXPECT_EQ(mr.size(), 64);
+    for (NodeId id = 0; id < mr.size(); ++id)
+        EXPECT_EQ(mr.toId(mr.toDigits(id)), id);
+}
+
+TEST(MixedRadixTest, MixedRadices)
+{
+    MixedRadix mr({2, 3, 4});
+    EXPECT_EQ(mr.size(), 24);
+    const auto d = mr.toDigits(23);
+    EXPECT_EQ(d[0], 1);
+    EXPECT_EQ(d[1], 2);
+    EXPECT_EQ(d[2], 3);
+}
+
+TEST(MixedRadixTest, RejectsBadRadix)
+{
+    EXPECT_THROW(MixedRadix({1, 4}), PanicError);
+}
+
+TEST(GhcTest, BinaryCubeCounts)
+{
+    const auto c = GeneralizedHypercube::binaryCube(6);
+    EXPECT_EQ(c.numNodes(), 64);
+    EXPECT_EQ(c.numLinks(), 64 * 6 / 2);
+    for (NodeId n = 0; n < c.numNodes(); ++n)
+        EXPECT_EQ(c.degree(n), 6);
+    EXPECT_EQ(c.name(), "binary 6-cube");
+}
+
+TEST(GhcTest, Ghc444Counts)
+{
+    const GeneralizedHypercube g({4, 4, 4});
+    EXPECT_EQ(g.numNodes(), 64);
+    // Degree: 3 dims x (4-1) neighbours = 9.
+    for (NodeId n = 0; n < g.numNodes(); ++n)
+        EXPECT_EQ(g.degree(n), 9);
+    EXPECT_EQ(g.numLinks(), 64 * 9 / 2);
+    EXPECT_EQ(g.name(), "GHC(4,4,4)");
+}
+
+TEST(GhcTest, DistanceIsDifferingDigits)
+{
+    const GeneralizedHypercube g({4, 4, 4});
+    // 0 = (0,0,0); 21 = (1,1,1): three digits differ.
+    EXPECT_EQ(g.distance(0, 21), 3);
+    EXPECT_EQ(g.distance(0, 1), 1);
+    EXPECT_EQ(g.distance(0, 0), 0);
+    // GHC: any digit change is ONE hop, even 0 -> 3.
+    EXPECT_EQ(g.distance(0, 3), 1);
+}
+
+TEST(GhcTest, MinimalPathCountIsFactorialOfDistance)
+{
+    const auto c = GeneralizedHypercube::binaryCube(6);
+    // Nodes differing in 4 bits: 4! = 24 minimal paths.
+    const auto paths = c.minimalPaths(0, 0b1111);
+    EXPECT_EQ(paths.size(), 24u);
+    std::set<std::vector<NodeId>> uniq;
+    for (const Path &p : paths) {
+        EXPECT_TRUE(c.validPath(p));
+        EXPECT_EQ(p.hops(), 4u);
+        EXPECT_EQ(p.source(), 0);
+        EXPECT_EQ(p.destination(), 0b1111);
+        uniq.insert(p.nodes);
+    }
+    EXPECT_EQ(uniq.size(), paths.size()) << "paths must be distinct";
+}
+
+TEST(GhcTest, MinimalPathCapRespected)
+{
+    const auto c = GeneralizedHypercube::binaryCube(6);
+    EXPECT_EQ(c.minimalPaths(0, 63, 10).size(), 10u);
+}
+
+TEST(GhcTest, LsdToMsdCorrectsLowDimensionFirst)
+{
+    const auto c = GeneralizedHypercube::binaryCube(4);
+    const Path p = c.routeLsdToMsd(0b0000, 0b1010);
+    ASSERT_EQ(p.nodes.size(), 3u);
+    EXPECT_EQ(p.nodes[0], 0b0000);
+    EXPECT_EQ(p.nodes[1], 0b0010); // bit 1 first (lowest differing)
+    EXPECT_EQ(p.nodes[2], 0b1010);
+    EXPECT_TRUE(c.validPath(p));
+}
+
+TEST(TorusTest, Counts8x8)
+{
+    const Torus t({8, 8});
+    EXPECT_EQ(t.numNodes(), 64);
+    EXPECT_EQ(t.numLinks(), 64 * 4 / 2);
+    for (NodeId n = 0; n < t.numNodes(); ++n)
+        EXPECT_EQ(t.degree(n), 4);
+    EXPECT_EQ(t.name(), "8x8 torus");
+}
+
+TEST(TorusTest, Counts444)
+{
+    const Torus t({4, 4, 4});
+    EXPECT_EQ(t.numNodes(), 64);
+    EXPECT_EQ(t.numLinks(), 64 * 6 / 2);
+    EXPECT_EQ(t.name(), "4x4x4 torus");
+}
+
+TEST(TorusTest, Radix2CollapsesToSingleLink)
+{
+    // In a 2-ary dimension, +1 and -1 reach the same neighbour; the
+    // duplicate link must be coalesced.
+    const Torus t({2, 2});
+    EXPECT_EQ(t.numNodes(), 4);
+    EXPECT_EQ(t.numLinks(), 4); // square, not multigraph
+    for (NodeId n = 0; n < t.numNodes(); ++n)
+        EXPECT_EQ(t.degree(n), 2);
+}
+
+TEST(TorusTest, WraparoundDistance)
+{
+    const Torus t({8, 8});
+    // (0,0) to (7,0): one wraparound hop.
+    EXPECT_EQ(t.distance(0, 7), 1);
+    // (0,0) to (4,0): half the ring, 4 hops either way.
+    EXPECT_EQ(t.distance(0, 4), 4);
+    // (0,0) to (3,2): 3 + 2.
+    EXPECT_EQ(t.distance(0, 3 + 2 * 8), 5);
+}
+
+TEST(TorusTest, MinimalPathCountMatchesMultinomial)
+{
+    const Torus t({8, 8});
+    // Offsets (2, 3) with no ties: C(5,2) = 10 interleavings.
+    const NodeId dst = 2 + 3 * 8;
+    const auto paths = t.minimalPaths(0, dst);
+    EXPECT_EQ(paths.size(), 10u);
+    for (const Path &p : paths) {
+        EXPECT_TRUE(t.validPath(p));
+        EXPECT_EQ(p.hops(), 5u);
+    }
+}
+
+TEST(TorusTest, TieDimensionDoublesDirections)
+{
+    const Torus t({8, 8});
+    // Offset (4, 0): exactly half the ring; both directions minimal.
+    const auto paths = t.minimalPaths(0, 4);
+    EXPECT_EQ(paths.size(), 2u);
+    for (const Path &p : paths)
+        EXPECT_EQ(p.hops(), 4u);
+}
+
+TEST(TorusTest, LsdToMsdWalksRingStepwise)
+{
+    const Torus t({8, 8});
+    const Path p = t.routeLsdToMsd(0, 3 + 8);
+    // Dimension 0 first: 0 -> 1 -> 2 -> 3, then 3 -> 3+8.
+    ASSERT_EQ(p.nodes.size(), 5u);
+    EXPECT_EQ(p.nodes[1], 1);
+    EXPECT_EQ(p.nodes[2], 2);
+    EXPECT_EQ(p.nodes[3], 3);
+    EXPECT_EQ(p.nodes[4], 3 + 8);
+}
+
+TEST(TorusTest, LsdToMsdUsesShortWrapDirection)
+{
+    const Torus t({8, 8});
+    const Path p = t.routeLsdToMsd(0, 6);
+    // 0 -> 7 -> 6 (2 hops backwards) beats 6 hops forwards.
+    ASSERT_EQ(p.hops(), 2u);
+    EXPECT_EQ(p.nodes[1], 7);
+}
+
+TEST(MeshTest, CountsAndEdges)
+{
+    const Mesh m({4, 4});
+    EXPECT_EQ(m.numNodes(), 16);
+    EXPECT_EQ(m.numLinks(), 2 * 4 * 3); // 24 in a 4x4 grid
+    EXPECT_EQ(m.name(), "4x4 mesh");
+    // Corner degree 2, edge degree 3, interior degree 4.
+    EXPECT_EQ(m.degree(0), 2);
+    EXPECT_EQ(m.degree(1), 3);
+    EXPECT_EQ(m.degree(5), 4);
+}
+
+TEST(MeshTest, NoWraparound)
+{
+    const Mesh m({4, 4});
+    EXPECT_EQ(m.distance(0, 3), 3); // no ring shortcut
+    EXPECT_FALSE(m.adjacent(0, 3));
+}
+
+TEST(MeshTest, MinimalPathsManhattan)
+{
+    const Mesh m({4, 4});
+    // (0,0) to (2,1): C(3,1) = 3 interleavings.
+    const auto paths = m.minimalPaths(0, 2 + 4);
+    EXPECT_EQ(paths.size(), 3u);
+}
+
+TEST(TopologyTest, LinkBetweenAndNeighbors)
+{
+    const auto c = GeneralizedHypercube::binaryCube(3);
+    EXPECT_NE(c.linkBetween(0, 1), kInvalidLink);
+    EXPECT_EQ(c.linkBetween(0, 3), kInvalidLink);
+    const auto nbrs = c.neighborsOf(0);
+    EXPECT_EQ(nbrs.size(), 3u);
+    EXPECT_TRUE(std::find(nbrs.begin(), nbrs.end(), 4) != nbrs.end());
+}
+
+TEST(TopologyTest, MakePathRejectsNonAdjacent)
+{
+    const auto c = GeneralizedHypercube::binaryCube(3);
+    EXPECT_THROW(c.makePath({0, 3}), PanicError);
+    EXPECT_TRUE(c.validPath(c.makePath({0, 1, 3})));
+}
+
+TEST(TopologyTest, ValidPathRejectsBrokenLinkIds)
+{
+    const auto c = GeneralizedHypercube::binaryCube(3);
+    Path p = c.makePath({0, 1});
+    p.links[0] = 9999;
+    EXPECT_FALSE(c.validPath(p));
+    Path q = c.makePath({0, 1});
+    q.nodes.push_back(5); // node list longer than links + 1
+    EXPECT_FALSE(c.validPath(q));
+}
+
+/**
+ * Property suite over all four evaluation fabrics: declared
+ * distances agree with BFS, minimal paths are valid/minimal/
+ * endpoint-correct, and the LSD-to-MSD route is itself minimal.
+ */
+class TopologyProperty
+    : public ::testing::TestWithParam<const char *>
+{
+  protected:
+    std::unique_ptr<Topology>
+    make() const
+    {
+        const std::string which = GetParam();
+        if (which == "cube6")
+            return std::make_unique<GeneralizedHypercube>(
+                GeneralizedHypercube::binaryCube(6));
+        if (which == "ghc444")
+            return std::make_unique<GeneralizedHypercube>(
+                std::vector<int>{4, 4, 4});
+        if (which == "torus88")
+            return std::make_unique<Torus>(std::vector<int>{8, 8});
+        if (which == "torus444")
+            return std::make_unique<Torus>(
+                std::vector<int>{4, 4, 4});
+        if (which == "mesh44")
+            return std::make_unique<Mesh>(std::vector<int>{4, 4});
+        return nullptr;
+    }
+};
+
+TEST_P(TopologyProperty, DistanceMatchesBfs)
+{
+    const auto topo = make();
+    Rng rng(7);
+    for (int trial = 0; trial < 60; ++trial) {
+        const NodeId a = static_cast<NodeId>(
+            rng.index(static_cast<std::size_t>(topo->numNodes())));
+        const NodeId b = static_cast<NodeId>(
+            rng.index(static_cast<std::size_t>(topo->numNodes())));
+        EXPECT_EQ(topo->distance(a, b), topo->Topology::distance(a, b))
+            << topo->name() << " " << a << "->" << b;
+    }
+}
+
+TEST_P(TopologyProperty, MinimalPathsAreMinimalAndValid)
+{
+    const auto topo = make();
+    Rng rng(13);
+    for (int trial = 0; trial < 30; ++trial) {
+        const NodeId a = static_cast<NodeId>(
+            rng.index(static_cast<std::size_t>(topo->numNodes())));
+        const NodeId b = static_cast<NodeId>(
+            rng.index(static_cast<std::size_t>(topo->numNodes())));
+        const int d = topo->distance(a, b);
+        const auto paths = topo->minimalPaths(a, b, 64);
+        ASSERT_FALSE(paths.empty());
+        std::set<std::vector<NodeId>> uniq;
+        for (const Path &p : paths) {
+            EXPECT_TRUE(topo->validPath(p));
+            EXPECT_EQ(static_cast<int>(p.hops()), d);
+            EXPECT_EQ(p.source(), a);
+            EXPECT_EQ(p.destination(), b);
+            uniq.insert(p.nodes);
+        }
+        EXPECT_EQ(uniq.size(), paths.size());
+    }
+}
+
+TEST_P(TopologyProperty, LsdToMsdRouteIsMinimal)
+{
+    const auto topo = make();
+    Rng rng(29);
+    for (int trial = 0; trial < 60; ++trial) {
+        const NodeId a = static_cast<NodeId>(
+            rng.index(static_cast<std::size_t>(topo->numNodes())));
+        const NodeId b = static_cast<NodeId>(
+            rng.index(static_cast<std::size_t>(topo->numNodes())));
+        const Path p = topo->routeLsdToMsd(a, b);
+        EXPECT_TRUE(topo->validPath(p));
+        EXPECT_EQ(static_cast<int>(p.hops()), topo->distance(a, b));
+    }
+}
+
+TEST_P(TopologyProperty, AdjacencyIsSymmetricAndIrreflexive)
+{
+    const auto topo = make();
+    for (LinkId l = 0; l < topo->numLinks(); ++l) {
+        const Link &lk = topo->link(l);
+        EXPECT_NE(lk.a, lk.b);
+        EXPECT_TRUE(topo->adjacent(lk.a, lk.b));
+        EXPECT_TRUE(topo->adjacent(lk.b, lk.a));
+        EXPECT_EQ(topo->linkBetween(lk.a, lk.b), l);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fabrics, TopologyProperty,
+                         ::testing::Values("cube6", "ghc444",
+                                           "torus88", "torus444",
+                                           "mesh44"));
+
+} // namespace
+} // namespace srsim
