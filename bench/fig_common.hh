@@ -14,6 +14,7 @@
 #ifndef SRSIM_BENCH_FIG_COMMON_HH_
 #define SRSIM_BENCH_FIG_COMMON_HH_
 
+#include <chrono>
 #include <iostream>
 #include <string>
 
@@ -22,9 +23,37 @@
 #include "tfg/dvb.hh"
 #include "tfg/timing.hh"
 #include "topology/topology.hh"
+#include "util/thread_pool.hh"
 
 namespace srsim {
 namespace bench {
+
+/**
+ * Wall-clock + thread-count note for one sweep, on stderr so the
+ * deterministic table output on stdout stays byte-stable across
+ * runs and thread counts (set SRSIM_THREADS to change the pool).
+ */
+class SweepTimer
+{
+  public:
+    explicit SweepTimer(const std::string &what)
+        : what_(what), start_(std::chrono::steady_clock::now())
+    {}
+
+    ~SweepTimer()
+    {
+        const auto dt =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - start_);
+        std::cerr << "# " << what_ << ": "
+                  << (dt.count() / 1000.0) << " s with "
+                  << ThreadPool::global().size() << " thread(s)\n";
+    }
+
+  private:
+    std::string what_;
+    std::chrono::steady_clock::time_point start_;
+};
 
 /** Default DVB experiment setup for one fabric at one bandwidth. */
 struct FigureSetup
@@ -64,6 +93,7 @@ runThroughputPanel(const std::string &figure, const Topology &topo,
     const TaskFlowGraph g = buildDvbTfg(setup.dvb);
     const TimingModel tm = setup.timing(bandwidth);
     const TaskAllocation alloc = setup.allocate(g, topo);
+    SweepTimer timer(figure + " throughput sweep on " + topo.name());
     const auto points =
         runThroughputExperiment(g, topo, alloc, tm, setup.cfg);
 
@@ -83,6 +113,8 @@ runUtilizationPanel(const std::string &figure, const Topology &topo,
     const TaskFlowGraph g = buildDvbTfg(setup.dvb);
     const TimingModel tm = setup.timing(bandwidth);
     const TaskAllocation alloc = setup.allocate(g, topo);
+    SweepTimer timer(figure + " utilization sweep on " +
+                     topo.name());
     const auto points =
         runUtilizationExperiment(g, topo, alloc, tm, setup.cfg);
 

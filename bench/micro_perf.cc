@@ -17,6 +17,7 @@
 #include "tfg/timing.hh"
 #include "topology/generalized_hypercube.hh"
 #include "topology/torus.hh"
+#include "util/thread_pool.hh"
 #include "wormhole/wormhole.hh"
 
 namespace {
@@ -139,6 +140,62 @@ BM_SrCompile(benchmark::State &state)
     }
 }
 BENCHMARK(BM_SrCompile)->Arg(10)->Arg(20)->Arg(40);
+
+/**
+ * Full SR compile at a fixed load with the global pool pinned to
+ * Arg threads: the parallel-vs-serial wall-clock comparison of the
+ * compiler (AssignPaths restarts + per-subset allocation LPs +
+ * per-interval scheduling LPs all fan out).
+ */
+void
+BM_SrCompileThreads(benchmark::State &state)
+{
+    ThreadPool::setGlobalSize(
+        static_cast<std::size_t>(state.range(0)));
+    DvbSetup s;
+    SrCompilerConfig cfg;
+    cfg.inputPeriod = 2.0 * s.tm.tauC(s.g);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(compileScheduledRouting(
+            s.g, s.cube, s.alloc, s.tm, cfg));
+    }
+    ThreadPool::setGlobalSize(1);
+}
+BENCHMARK(BM_SrCompileThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+/**
+ * One figure-style load sweep (12 points, WR simulation + SR
+ * compile + SR execution per point) with the pool pinned to Arg
+ * threads — the experiment-layer parallelism acceptance benchmark.
+ */
+void
+BM_FigureSweepThreads(benchmark::State &state)
+{
+    ThreadPool::setGlobalSize(
+        static_cast<std::size_t>(state.range(0)));
+    DvbSetup s;
+    ExperimentConfig cfg;
+    cfg.invocations = 30;
+    cfg.warmup = 5;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(runThroughputExperiment(
+            s.g, s.cube, s.alloc, s.tm, cfg));
+    }
+    ThreadPool::setGlobalSize(1);
+}
+BENCHMARK(BM_FigureSweepThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
 
 } // namespace
 

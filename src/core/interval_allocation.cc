@@ -6,6 +6,7 @@
 
 #include "solver/lp.hh"
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace srsim {
 
@@ -249,6 +250,19 @@ quantizeRow(Matrix<Time> &P, std::size_t h, const IntervalSet &ivs,
 
 } // namespace
 
+namespace {
+
+/** Outcome of one subset's (independent) allocation. */
+struct SubsetAllocResult
+{
+    bool ok = false;
+    double peakLoad = 0.0;
+    /** Cells (message row, interval, value) this subset wrote. */
+    std::vector<std::tuple<std::size_t, std::size_t, Time>> cells;
+};
+
+} // namespace
+
 IntervalAllocation
 allocateMessageIntervals(const TimeBounds &bounds,
                          const IntervalSet &intervals,
@@ -261,27 +275,49 @@ allocateMessageIntervals(const TimeBounds &bounds,
     out.allocation =
         Matrix<Time>(bounds.messages.size(), intervals.size(), 0.0);
 
+    // Maximal subsets share no (link, interval) pair and partition
+    // the messages, so their allocation problems are independent:
+    // solve them concurrently, each into a private matrix, and merge
+    // in subset order. The ordered merge stops at the lowest failed
+    // subset, reproducing the serial early-exit byte for byte
+    // (including a failed greedy subset's partial rows).
+    std::vector<SubsetAllocResult> results(subsets.size());
+    ThreadPool::global().parallelFor(
+        subsets.size(), [&](std::size_t s) {
+            SubsetAllocResult &r = results[s];
+            Matrix<Time> local(bounds.messages.size(),
+                               intervals.size(), 0.0);
+            r.ok =
+                method == AllocationMethod::Lp
+                    ? allocateSubsetLp(bounds, intervals, pa,
+                                       subsets[s], guardTime, local,
+                                       r.peakLoad)
+                    : allocateSubsetGreedy(bounds, intervals, pa,
+                                           subsets[s], guardTime,
+                                           local, r.peakLoad);
+            if (r.ok && packetTime > 0.0) {
+                for (std::size_t h : subsets[s].members) {
+                    quantizeRow(local, h, intervals,
+                                intervals.activeIntervals(h),
+                                packetTime, guardTime);
+                }
+            }
+            for (std::size_t h : subsets[s].members)
+                for (std::size_t k :
+                     intervals.activeIntervals(h))
+                    if (local.at(h, k) != 0.0)
+                        r.cells.emplace_back(h, k,
+                                             local.at(h, k));
+        });
+
     for (std::size_t s = 0; s < subsets.size(); ++s) {
-        const bool ok =
-            method == AllocationMethod::Lp
-                ? allocateSubsetLp(bounds, intervals, pa, subsets[s],
-                                   guardTime, out.allocation,
-                                   out.peakLoad)
-                : allocateSubsetGreedy(bounds, intervals, pa,
-                                       subsets[s], guardTime,
-                                       out.allocation,
-                                       out.peakLoad);
-        if (!ok) {
+        out.peakLoad = std::max(out.peakLoad, results[s].peakLoad);
+        for (const auto &[h, k, v] : results[s].cells)
+            out.allocation.at(h, k) = v;
+        if (!results[s].ok) {
             out.feasible = false;
             out.failedSubset = static_cast<int>(s);
             return out;
-        }
-        if (packetTime > 0.0) {
-            for (std::size_t h : subsets[s].members) {
-                quantizeRow(out.allocation, h, intervals,
-                            intervals.activeIntervals(h),
-                            packetTime, guardTime);
-            }
         }
     }
     out.feasible = true;

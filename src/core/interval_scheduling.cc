@@ -5,6 +5,7 @@
 
 #include "solver/lp.hh"
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace srsim {
 
@@ -317,6 +318,18 @@ scheduleIntervals(const TimeBounds &bounds,
     SRSIM_ASSERT(alloc.feasible,
                  "cannot schedule an infeasible allocation");
 
+    // One work item per (subset, interval) with any allocated time.
+    // After allocation the items are independent: intervals are
+    // disjoint time windows and subsets share no link, so each item
+    // schedules in isolation. Solve them concurrently into private
+    // segment lists and merge in item order; the ordered merge stops
+    // at the lowest failed item, reproducing the serial early-exit.
+    struct Item
+    {
+        std::size_t s, k;
+        IntervalWork work;
+    };
+    std::vector<Item> items;
     for (std::size_t s = 0; s < subsets.size(); ++s) {
         const MessageSubset &sub = subsets[s];
         for (std::size_t k : sub.intervals) {
@@ -328,35 +341,59 @@ scheduleIntervals(const TimeBounds &bounds,
                     work.demand.push_back(p);
                 }
             }
-            if (work.members.empty())
-                continue;
+            if (!work.members.empty())
+                items.push_back({s, k, std::move(work)});
+        }
+    }
 
-            const TimeWindow &iv = intervals.interval(k);
-            double used;
+    struct ItemResult
+    {
+        bool lpFailed = false;
+        double used = 0.0;
+        std::vector<std::vector<TimeWindow>> segments;
+    };
+    std::vector<ItemResult> results(items.size());
+    ThreadPool::global().parallelFor(
+        items.size(), [&](std::size_t i) {
+            const Item &it = items[i];
+            ItemResult &r = results[i];
+            r.segments.assign(bounds.messages.size(), {});
+            const TimeWindow &iv = intervals.interval(it.k);
             if (opts.method == SchedulingMethod::LpFeasibleSets) {
-                used = scheduleLp(work, pa, iv, opts.maxFeasibleSets,
-                                  opts.guardTime, opts.packetTime,
-                                  opts.exactPacketMip,
-                                  out.segments);
-                if (used < 0.0) {
-                    out.feasible = false;
-                    out.failedSubset = static_cast<int>(s);
-                    out.failedInterval = static_cast<int>(k);
-                    return out;
-                }
+                r.used = scheduleLp(it.work, pa, iv,
+                                    opts.maxFeasibleSets,
+                                    opts.guardTime, opts.packetTime,
+                                    opts.exactPacketMip,
+                                    r.segments);
+                r.lpFailed = r.used < 0.0;
             } else {
-                used = scheduleGreedy(work, pa, iv, opts.guardTime,
-                                      opts.packetTime,
-                                      out.segments);
+                r.used = scheduleGreedy(it.work, pa, iv,
+                                        opts.guardTime,
+                                        opts.packetTime, r.segments);
             }
+        });
 
-            if (timeGt(used, iv.length())) {
-                out.feasible = false;
-                out.failedSubset = static_cast<int>(s);
-                out.failedInterval = static_cast<int>(k);
-                out.overrun = used - iv.length();
-                return out;
-            }
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        const Item &it = items[i];
+        ItemResult &r = results[i];
+        for (std::size_t h : it.work.members) {
+            out.segments[h].insert(out.segments[h].end(),
+                                   r.segments[h].begin(),
+                                   r.segments[h].end());
+        }
+        if (r.lpFailed) {
+            out.feasible = false;
+            out.failedSubset = static_cast<int>(it.s);
+            out.failedInterval = static_cast<int>(it.k);
+            return out;
+        }
+        const TimeWindow &iv = intervals.interval(it.k);
+        if (timeGt(r.used, iv.length())) {
+            out.feasible = false;
+            out.failedSubset = static_cast<int>(it.s);
+            out.failedInterval = static_cast<int>(it.k);
+            out.overrun = r.used - iv.length();
+            return out;
         }
     }
 

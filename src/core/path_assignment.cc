@@ -5,6 +5,7 @@
 
 #include "util/logging.hh"
 #include "util/rng.hh"
+#include "util/thread_pool.hh"
 
 namespace srsim {
 
@@ -157,6 +158,113 @@ messagesOnLink(const PathAssignment &pa, LinkId j)
     return out;
 }
 
+/** Outcome of one improvement walk (one restart). */
+struct WalkResult
+{
+    PathAssignment assignment;
+    UtilizationReport report;
+    int reroutes = 0;
+};
+
+/**
+ * One iterative-improvement walk of Fig. 4's inner loop: start from
+ * a random assignment drawn from `seed`'s own RNG stream and reroute
+ * peak-crossing messages until no move reduces (or usefully
+ * repositions) the peak. Deterministic given (candidates, seed).
+ */
+WalkResult
+improveWalk(const std::vector<std::vector<Path>> &candidates,
+            const TimeBounds &bounds, const IntervalSet &intervals,
+            const Topology &topo, const AssignPathsOptions &opts,
+            std::uint64_t seed)
+{
+    // Per-walk analyzer: its scratch buffers make analyze()
+    // single-threaded, so concurrent walks each get their own.
+    UtilizationAnalyzer ua(bounds, intervals, topo);
+    Rng rng(seed);
+
+    WalkResult w;
+    w.assignment.paths.reserve(candidates.size());
+    for (const auto &cands : candidates)
+        w.assignment.paths.push_back(cands[rng.index(cands.size())]);
+    PathAssignment &current = w.assignment;
+    UtilizationReport cur_rep = ua.analyze(current);
+
+    // Iterative improvement: a sweep reroutes at most one message;
+    // repositioning moves (same peak value, different link/spot) are
+    // allowed a bounded number of times so the walk can escape
+    // plateaus without oscillating forever.
+    int inner = 0;
+    int repositions = 0;
+    const int repositionBudget =
+        2 * static_cast<int>(bounds.messages.size()) + 4;
+    bool iflag = true;
+    while (iflag && inner < opts.maxInnerIterations) {
+        iflag = false;
+        ++inner;
+
+        // Reroutable = multi-hop messages crossing the peak link
+        // (restricted to the peak interval for spots).
+        std::vector<std::size_t> reroutable;
+        for (std::size_t i :
+             messagesOnLink(current, cur_rep.position.link)) {
+            if (current.paths[i].hops() < 2)
+                continue;
+            if (cur_rep.position.isSpot &&
+                !intervals.active(i, cur_rep.position.interval))
+                continue;
+            if (candidates[i].size() < 2)
+                continue;
+            reroutable.push_back(i);
+        }
+
+        double best_new_peak = cur_rep.peak;
+        std::size_t red_msg = SIZE_MAX, red_path = 0;
+        std::size_t repos_msg = SIZE_MAX, repos_path = 0;
+        UtilizationReport repos_rep;
+
+        for (std::size_t i : reroutable) {
+            const Path saved = current.paths[i];
+            for (std::size_t c = 0; c < candidates[i].size(); ++c) {
+                if (candidates[i][c] == saved)
+                    continue;
+                current.paths[i] = candidates[i][c];
+                const UtilizationReport rep = ua.analyze(current);
+                if (rep.peak < best_new_peak - 1e-12) {
+                    best_new_peak = rep.peak;
+                    red_msg = i;
+                    red_path = c;
+                } else if (repos_msg == SIZE_MAX &&
+                           rep.peak <= cur_rep.peak + 1e-12 &&
+                           !(rep.position == cur_rep.position)) {
+                    repos_msg = i;
+                    repos_path = c;
+                    repos_rep = rep;
+                }
+            }
+            current.paths[i] = saved;
+        }
+
+        if (red_msg != SIZE_MAX) {
+            current.paths[red_msg] = candidates[red_msg][red_path];
+            cur_rep = ua.analyze(current);
+            ++w.reroutes;
+            iflag = true;
+        } else if (repos_msg != SIZE_MAX &&
+                   repositions < repositionBudget) {
+            current.paths[repos_msg] =
+                candidates[repos_msg][repos_path];
+            cur_rep = repos_rep;
+            ++w.reroutes;
+            ++repositions;
+            iflag = true;
+        }
+    }
+
+    w.report = cur_rep;
+    return w;
+}
+
 } // namespace
 
 PathAssignment
@@ -182,123 +290,35 @@ assignPaths(const TaskFlowGraph &g, const Topology &topo,
 {
     const auto candidates = candidatePaths(g, topo, alloc, bounds,
                                            opts.maxPathsPerMessage);
-    UtilizationAnalyzer ua(bounds, intervals, topo);
-    Rng rng(opts.seed);
 
-    auto random_assignment = [&]() {
-        PathAssignment pa;
-        pa.paths.reserve(candidates.size());
-        for (const auto &cands : candidates)
-            pa.paths.push_back(cands[rng.index(cands.size())]);
-        return pa;
-    };
+    // Outer loop of Fig. 4, restructured for parallelism: restart
+    // walks are *independent* (walk r draws its random start from
+    // the RNG stream deriveSeed(opts.seed, r)), so they run
+    // concurrently on the global pool and the result is
+    // bit-identical to the serial order for every thread count. The
+    // reduction is a fixed-order scan: lowest peak U wins, ties go
+    // to the lowest restart index.
+    const std::size_t walks =
+        static_cast<std::size_t>(opts.maxRestarts) + 1;
+    std::vector<WalkResult> results(walks);
+    ThreadPool::global().parallelFor(
+        walks, [&](std::size_t r) {
+            results[r] =
+                improveWalk(candidates, bounds, intervals, topo,
+                            opts, deriveSeed(opts.seed, r));
+        });
 
     AssignPathsResult result;
-    PathAssignment current = random_assignment();
-    UtilizationReport cur_rep = ua.analyze(current);
-    PathAssignment best = current;
-    UtilizationReport best_rep = cur_rep;
-
-    bool aflag = false;
-    while (!aflag) {
-        // Inner loop: iterative improvement of `current`. A sweep
-        // reroutes at most one message; repositioning moves (same
-        // peak value, different link/spot) are allowed a bounded
-        // number of times per improvement phase so the walk can
-        // escape plateaus without oscillating forever.
-        int inner = 0;
-        int repositions = 0;
-        const int repositionBudget =
-            2 * static_cast<int>(bounds.messages.size()) + 4;
-        bool iflag = true;
-        while (iflag && inner < opts.maxInnerIterations) {
-            iflag = false;
-            ++inner;
-
-            // Reroutable = multi-hop messages crossing the peak
-            // link (restricted to the peak interval for spots).
-            std::vector<std::size_t> reroutable;
-            for (std::size_t i :
-                 messagesOnLink(current, cur_rep.position.link)) {
-                if (current.paths[i].hops() < 2)
-                    continue;
-                if (cur_rep.position.isSpot &&
-                    !intervals.active(i, cur_rep.position.interval))
-                    continue;
-                if (candidates[i].size() < 2)
-                    continue;
-                reroutable.push_back(i);
-            }
-
-            double best_new_peak = cur_rep.peak;
-            std::size_t red_msg = SIZE_MAX, red_path = 0;
-            std::size_t repos_msg = SIZE_MAX, repos_path = 0;
-            UtilizationReport repos_rep;
-
-            for (std::size_t i : reroutable) {
-                const Path saved = current.paths[i];
-                for (std::size_t c = 0; c < candidates[i].size();
-                     ++c) {
-                    if (candidates[i][c] == saved)
-                        continue;
-                    current.paths[i] = candidates[i][c];
-                    const UtilizationReport rep = ua.analyze(current);
-                    if (rep.peak < best_new_peak - 1e-12) {
-                        best_new_peak = rep.peak;
-                        red_msg = i;
-                        red_path = c;
-                    } else if (repos_msg == SIZE_MAX &&
-                               rep.peak <= cur_rep.peak + 1e-12 &&
-                               !(rep.position == cur_rep.position)) {
-                        repos_msg = i;
-                        repos_path = c;
-                        repos_rep = rep;
-                    }
-                }
-                current.paths[i] = saved;
-            }
-
-            if (red_msg != SIZE_MAX) {
-                current.paths[red_msg] =
-                    candidates[red_msg][red_path];
-                cur_rep = ua.analyze(current);
-                ++result.reroutes;
-                iflag = true;
-            } else if (repos_msg != SIZE_MAX &&
-                       repositions < repositionBudget) {
-                current.paths[repos_msg] =
-                    candidates[repos_msg][repos_path];
-                cur_rep = repos_rep;
-                ++result.reroutes;
-                ++repositions;
-                iflag = true;
-            }
-        }
-
-        // Outer loop of Fig. 4: keep the best assignment seen; after
-        // a new best (by value, or same value at a new position),
-        // restart from a random assignment to escape local minima.
-        const bool better = cur_rep.peak < best_rep.peak - 1e-12;
-        const bool moved =
-            cur_rep.peak <= best_rep.peak + 1e-12 &&
-            !(cur_rep.position == best_rep.position);
-        if (better || moved) {
-            best = current;
-            best_rep = cur_rep;
-            if (result.restarts >= opts.maxRestarts) {
-                aflag = true;
-            } else {
-                current = random_assignment();
-                cur_rep = ua.analyze(current);
-                ++result.restarts;
-            }
-        } else {
-            aflag = true;
-        }
+    std::size_t best = 0;
+    for (std::size_t r = 0; r < walks; ++r) {
+        result.reroutes += results[r].reroutes;
+        if (results[r].report.peak <
+            results[best].report.peak - 1e-12)
+            best = r;
     }
-
-    result.assignment = std::move(best);
-    result.report = best_rep;
+    result.restarts = static_cast<int>(walks) - 1;
+    result.assignment = std::move(results[best].assignment);
+    result.report = results[best].report;
     return result;
 }
 

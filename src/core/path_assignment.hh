@@ -126,7 +126,14 @@ struct AssignPathsOptions
 {
     /** Cap on enumerated minimal paths per message (0 = all). */
     std::size_t maxPathsPerMessage = 256;
-    /** Random restarts before declaring convergence. */
+    /**
+     * Random restarts beyond the first walk. The maxRestarts + 1
+     * improvement walks are independent (walk r seeds its RNG from
+     * deriveSeed(seed, r)) and run concurrently on the global
+     * ThreadPool; the best result (lowest peak U, ties to the
+     * lowest restart index) wins, so the outcome is identical for
+     * every thread count including the serial pool.
+     */
     int maxRestarts = 12;
     /** Safety bound on reroutes within one improvement sweep. */
     int maxInnerIterations = 2000;

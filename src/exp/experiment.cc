@@ -6,6 +6,7 @@
 #include "core/sr_executor.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
+#include "util/thread_pool.hh"
 
 namespace srsim {
 
@@ -31,26 +32,34 @@ runUtilizationExperiment(const TaskFlowGraph &g, const Topology &topo,
                          const ExperimentConfig &cfg)
 {
     const Time tau_c = tm.tauC(g);
-    std::vector<UtilizationPoint> out;
+    const std::vector<Time> periods = loadSweepPeriods(tau_c, cfg);
 
-    for (Time period : loadSweepPeriods(tau_c, cfg)) {
-        UtilizationPoint pt;
-        pt.inputPeriod = period;
-        pt.load = tau_c / period;
+    // Load points are independent; evaluate them concurrently, each
+    // into its own slot, so the (ascending-load) series is identical
+    // for every thread count.
+    std::vector<UtilizationPoint> out(periods.size());
+    ThreadPool::global().parallelFor(
+        periods.size(), [&](std::size_t i) {
+            const Time period = periods[i];
+            UtilizationPoint pt;
+            pt.inputPeriod = period;
+            pt.load = tau_c / period;
 
-        const TimeBounds bounds =
-            computeTimeBounds(g, alloc, tm, period);
-        const IntervalSet ivs(bounds);
-        UtilizationAnalyzer ua(bounds, ivs, topo);
+            const TimeBounds bounds =
+                computeTimeBounds(g, alloc, tm, period);
+            const IntervalSet ivs(bounds);
+            UtilizationAnalyzer ua(bounds, ivs, topo);
 
-        pt.uLsdToMsd =
-            ua.analyze(lsdToMsdAssignment(g, topo, alloc, bounds))
-                .peak;
-        pt.uAssignPaths = assignPaths(g, topo, alloc, bounds, ivs,
-                                      cfg.sr.assign)
-                              .report.peak;
-        out.push_back(pt);
-    }
+            pt.uLsdToMsd =
+                ua.analyze(
+                      lsdToMsdAssignment(g, topo, alloc, bounds))
+                    .peak;
+            pt.uAssignPaths =
+                assignPaths(g, topo, alloc, bounds, ivs,
+                            cfg.sr.assign)
+                    .report.peak;
+            out[i] = pt;
+        });
     std::reverse(out.begin(), out.end()); // ascending load
     return out;
 }
@@ -64,9 +73,16 @@ runThroughputExperiment(const TaskFlowGraph &g, const Topology &topo,
     const Time tau_c = tm.tauC(g);
     const InvocationTiming canon = computeInvocationTiming(g, tm);
     const Time delta = canon.criticalPath;
+    const std::vector<Time> periods = loadSweepPeriods(tau_c, cfg);
 
-    std::vector<LoadPoint> out;
-    for (Time period : loadSweepPeriods(tau_c, cfg)) {
+    // Each load point runs a full WR simulation plus an SR compile;
+    // both are self-contained, so the sweep parallelizes across
+    // points (and each SR compile parallelizes internally — the
+    // pool's parallelFor nests without deadlock).
+    std::vector<LoadPoint> out(periods.size());
+    ThreadPool::global().parallelFor(
+        periods.size(), [&](std::size_t idx) {
+        const Time period = periods[idx];
         LoadPoint pt;
         pt.inputPeriod = period;
         pt.load = tau_c / period;
@@ -113,8 +129,8 @@ runThroughputExperiment(const TaskFlowGraph &g, const Topology &topo,
             pt.srLatency =
                 ex.latencies(cfg.warmup).mean() / delta;
         }
-        out.push_back(pt);
-    }
+        out[idx] = pt;
+        });
     std::reverse(out.begin(), out.end()); // ascending load
     return out;
 }

@@ -19,6 +19,22 @@
 
 namespace srsim {
 
+/**
+ * Derive the seed of an independent RNG stream from a base seed and
+ * a stream index (splitmix64 finalizer). Parallel heuristics give
+ * every work item (e.g. every AssignPaths restart) its own stream
+ * seeded by its *index*, so results do not depend on how the items
+ * are interleaved across threads.
+ */
+inline std::uint64_t
+deriveSeed(std::uint64_t base, std::uint64_t stream)
+{
+    std::uint64_t z = base + 0x9E3779B97F4A7C15ull * (stream + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
 /** Seedable pseudo-random generator with convenience draws. */
 class Rng
 {

@@ -346,8 +346,14 @@ TEST(CoupledAllocationTest, RecoversInfeasibleGreedySeed)
     Rng rng(3);
     const CoupledAllocationResult res = coupleAllocationWithPaths(
         g, cube, tm, period, seed, rng);
+    // U <= 1 is necessary but not sufficient for the allocation
+    // stage; give the compiler its Fig. 3 feedback rounds (the
+    // production recovery path) so a low-U allocation whose first
+    // path assignment trips the interval LP still schedules.
+    SrCompilerConfig final_cfg = cfg;
+    final_cfg.feedbackRounds = 6;
     const SrCompileResult r = compileScheduledRouting(
-        g, cube, res.allocation, tm, cfg);
+        g, cube, res.allocation, tm, final_cfg);
     EXPECT_TRUE(r.feasible)
         << "coupled U = " << res.peakUtilization << ", "
         << r.detail;

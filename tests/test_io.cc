@@ -7,6 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include "core/schedule_io.hh"
+#include "core/sr_compiler.hh"
+#include "core/verifier.hh"
+#include "mapping/allocation.hh"
 #include "tfg/dvb.hh"
 #include "tfg/tfg_io.hh"
 #include "topology/factory.hh"
@@ -75,6 +79,65 @@ TEST(TfgIoTest, RejectsBadInputs)
         parse("srsim-tfg v1\ntask a 1\ntask b 1\n"
               "message m1 a b 5\nmessage m2 b a 5\nend\n"),
         FatalError);
+}
+
+/**
+ * Golden round-trip: a compiled Omega serialized with schedule_io,
+ * re-parsed, must (a) re-serialize byte-identically, (b) satisfy the
+ * independent verifier, and (c) equal the original segment for
+ * segment. Guards the on-disk format against drift now that
+ * schedules are produced on worker threads.
+ */
+TEST(ScheduleIoTest, GoldenRoundTripVerifiesAndMatches)
+{
+    const TaskFlowGraph g = buildDvbTfg({});
+    const auto cube = GeneralizedHypercube::binaryCube(6);
+    DvbParams dp;
+    TimingModel tm;
+    tm.apSpeed = dp.matchedApSpeed();
+    tm.bandwidth = 128.0;
+    const TaskAllocation alloc = alloc::roundRobin(g, cube, 13);
+    SrCompilerConfig cfg;
+    cfg.inputPeriod = 2.0 * tm.tauC(g);
+    const SrCompileResult r =
+        compileScheduledRouting(g, cube, alloc, tm, cfg);
+    ASSERT_TRUE(r.feasible) << r.detail;
+
+    std::stringstream first;
+    writeSchedule(first, r.omega);
+    const std::string golden = first.str();
+
+    const GlobalSchedule back = readSchedule(first, cube);
+
+    // (a) format stability: write(read(write(x))) == write(x).
+    std::stringstream second;
+    writeSchedule(second, back);
+    EXPECT_EQ(second.str(), golden);
+
+    // (b) the re-parsed schedule is still a valid Omega.
+    const VerifyResult v =
+        verifySchedule(g, cube, alloc, r.bounds, back);
+    EXPECT_TRUE(v.ok) << (v.violations.empty()
+                              ? "?"
+                              : v.violations.front());
+
+    // (c) structural equality with the original.
+    EXPECT_DOUBLE_EQ(back.period, r.omega.period);
+    ASSERT_EQ(back.segments.size(), r.omega.segments.size());
+    ASSERT_EQ(back.paths.paths.size(), r.omega.paths.paths.size());
+    for (std::size_t i = 0; i < back.segments.size(); ++i) {
+        EXPECT_EQ(back.paths.paths[i], r.omega.paths.paths[i])
+            << "message " << i;
+        ASSERT_EQ(back.segments[i].size(),
+                  r.omega.segments[i].size())
+            << "message " << i;
+        for (std::size_t w = 0; w < back.segments[i].size(); ++w) {
+            EXPECT_NEAR(back.segments[i][w].start,
+                        r.omega.segments[i][w].start, 1e-9);
+            EXPECT_NEAR(back.segments[i][w].end,
+                        r.omega.segments[i][w].end, 1e-9);
+        }
+    }
 }
 
 TEST(TopologyFactoryTest, BuildsAllKinds)

@@ -17,6 +17,7 @@
 #include "tfg/dvb.hh"
 #include "topology/generalized_hypercube.hh"
 #include "topology/torus.hh"
+#include "util/thread_pool.hh"
 
 namespace srsim {
 namespace {
@@ -216,6 +217,82 @@ TEST_P(AssignPathsProperty, NeverWorseThanRoutingFunction)
 
 INSTANTIATE_TEST_SUITE_P(LoadFactors, AssignPathsProperty,
                          ::testing::Values(1.0, 1.8, 2.7, 5.0));
+
+/**
+ * Determinism regression: the parallel restart scheme seeds every
+ * restart from its index, so assignPaths must produce the identical
+ * PathAssignment and peak U for any thread count. Pins the contract
+ * the parallel compiler relies on (DVB on the binary 6-cube and the
+ * 8x8 torus).
+ */
+TEST(AssignPathsTest, DeterministicAcrossThreadCounts)
+{
+    const TaskFlowGraph g = buildDvbTfg({});
+    DvbParams dp;
+    TimingModel tm;
+    tm.apSpeed = dp.matchedApSpeed();
+    tm.bandwidth = 128.0;
+
+    const auto cube = GeneralizedHypercube::binaryCube(6);
+    const Torus torus({8, 8});
+    AssignPathsOptions opts;
+    opts.maxRestarts = 4;
+    opts.seed = 987654321;
+
+    for (const Topology *topo :
+         std::initializer_list<const Topology *>{&cube, &torus}) {
+        const TaskAllocation alloc = alloc::roundRobin(g, *topo, 13);
+        const TimeBounds tb =
+            computeTimeBounds(g, alloc, tm, 2.0 * tm.tauC(g));
+        const IntervalSet ivs(tb);
+
+        ThreadPool::setGlobalSize(1);
+        const AssignPathsResult serial =
+            assignPaths(g, *topo, alloc, tb, ivs, opts);
+
+        for (std::size_t threads : {2u, 8u}) {
+            ThreadPool::setGlobalSize(threads);
+            const AssignPathsResult par =
+                assignPaths(g, *topo, alloc, tb, ivs, opts);
+            EXPECT_DOUBLE_EQ(par.report.peak, serial.report.peak)
+                << topo->name() << " threads=" << threads;
+            EXPECT_EQ(par.report.position == serial.report.position,
+                      true)
+                << topo->name() << " threads=" << threads;
+            EXPECT_EQ(par.restarts, serial.restarts);
+            EXPECT_EQ(par.reroutes, serial.reroutes);
+            ASSERT_EQ(par.assignment.paths.size(),
+                      serial.assignment.paths.size());
+            for (std::size_t i = 0;
+                 i < serial.assignment.paths.size(); ++i) {
+                EXPECT_EQ(par.assignment.paths[i],
+                          serial.assignment.paths[i])
+                    << topo->name() << " threads=" << threads
+                    << " message " << i;
+            }
+        }
+        ThreadPool::setGlobalSize(1);
+    }
+}
+
+/** Re-running with the same seed is reproducible (same process). */
+TEST(AssignPathsTest, SameSeedSameResult)
+{
+    ParallelFixture f;
+    const TimeBounds tb =
+        computeTimeBounds(f.g, f.alloc, f.tm, 40.0);
+    const IntervalSet ivs(tb);
+    AssignPathsOptions opts;
+    opts.seed = 2024;
+    const AssignPathsResult a =
+        assignPaths(f.g, f.cube, f.alloc, tb, ivs, opts);
+    const AssignPathsResult b =
+        assignPaths(f.g, f.cube, f.alloc, tb, ivs, opts);
+    EXPECT_DOUBLE_EQ(a.report.peak, b.report.peak);
+    EXPECT_EQ(a.assignment.paths.size(), b.assignment.paths.size());
+    for (std::size_t i = 0; i < a.assignment.paths.size(); ++i)
+        EXPECT_EQ(a.assignment.paths[i], b.assignment.paths[i]);
+}
 
 TEST(SubsetsTest, SharedLinkAndIntervalRelatesMessages)
 {

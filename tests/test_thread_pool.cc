@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Tests for the fixed-size thread pool: construction/teardown,
+ * exactly-once parallelFor coverage, exception propagation, the
+ * serial pool-of-1 degenerate case, submit() futures, nesting, and
+ * the SRSIM_THREADS-driven global pool.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hh"
+#include "util/thread_pool.hh"
+
+namespace srsim {
+namespace {
+
+TEST(ThreadPoolTest, ConstructionAndTeardown)
+{
+    for (std::size_t n : {1u, 2u, 4u, 8u}) {
+        ThreadPool pool(n);
+        EXPECT_EQ(pool.size(), n);
+    }
+    // Size is clamped to at least one.
+    ThreadPool zero(0);
+    EXPECT_EQ(zero.size(), 1u);
+    // Idle teardown (no work ever submitted) must not hang: the
+    // destructors above already exercise it; an explicit scope too.
+    {
+        ThreadPool idle(4);
+    }
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce)
+{
+    for (std::size_t threads : {1u, 2u, 5u}) {
+        ThreadPool pool(threads);
+        for (std::size_t n : {0u, 1u, 7u, 64u, 1000u}) {
+            std::vector<std::atomic<int>> hits(n);
+            for (auto &h : hits)
+                h = 0;
+            pool.parallelFor(n, [&](std::size_t i) {
+                ASSERT_LT(i, n);
+                ++hits[i];
+            });
+            for (std::size_t i = 0; i < n; ++i)
+                EXPECT_EQ(hits[i].load(), 1)
+                    << "threads=" << threads << " n=" << n
+                    << " index=" << i;
+        }
+    }
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesWorkerExceptions)
+{
+    for (std::size_t threads : {1u, 4u}) {
+        ThreadPool pool(threads);
+        EXPECT_THROW(
+            pool.parallelFor(16,
+                             [](std::size_t i) {
+                                 if (i == 11)
+                                     throw std::runtime_error("boom");
+                             }),
+            std::runtime_error);
+    }
+}
+
+TEST(ThreadPoolTest, LowestThrowingIndexWinsForEveryPoolSize)
+{
+    // Indices 3 and 9 both throw; the propagated exception must be
+    // index 3's regardless of scheduling.
+    for (std::size_t threads : {1u, 2u, 8u}) {
+        ThreadPool pool(threads);
+        for (int round = 0; round < 10; ++round) {
+            try {
+                pool.parallelFor(12, [](std::size_t i) {
+                    if (i == 3)
+                        throw std::runtime_error("low");
+                    if (i == 9)
+                        throw std::runtime_error("high");
+                });
+                FAIL() << "expected an exception";
+            } catch (const std::runtime_error &e) {
+                EXPECT_STREQ(e.what(), "low")
+                    << "threads=" << threads;
+            }
+        }
+    }
+}
+
+TEST(ThreadPoolTest, PoolOfOneDegeneratesToSerial)
+{
+    ThreadPool pool(1);
+    const std::thread::id caller = std::this_thread::get_id();
+    std::vector<std::size_t> order;
+    pool.parallelFor(20, [&](std::size_t i) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        order.push_back(i); // safe: everything runs on the caller
+    });
+    ASSERT_EQ(order.size(), 20u);
+    for (std::size_t i = 0; i < order.size(); ++i)
+        EXPECT_EQ(order[i], i) << "serial pool must run in order";
+
+    // submit() also runs inline and its future is immediately ready.
+    auto fut = pool.submit([caller]() {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        return 42;
+    });
+    EXPECT_EQ(fut.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(ThreadPoolTest, SubmitReturnsValuesAndExceptions)
+{
+    ThreadPool pool(3);
+    std::vector<std::future<int>> futs;
+    for (int i = 0; i < 20; ++i)
+        futs.push_back(pool.submit([i]() { return i * i; }));
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(futs[static_cast<std::size_t>(i)].get(), i * i);
+
+    auto bad = pool.submit(
+        []() -> int { throw std::logic_error("nope"); });
+    EXPECT_THROW(bad.get(), std::logic_error);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock)
+{
+    // More outer items than threads, each spawning an inner loop:
+    // the caller-participates design must make progress even when
+    // every worker is busy with an outer item.
+    ThreadPool pool(4);
+    std::atomic<int> total{0};
+    pool.parallelFor(8, [&](std::size_t) {
+        pool.parallelFor(8, [&](std::size_t) { ++total; });
+    });
+    EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPoolTest, GlobalPoolSizeIsConfigurable)
+{
+    ThreadPool::setGlobalSize(3);
+    EXPECT_EQ(ThreadPool::global().size(), 3u);
+    std::atomic<int> count{0};
+    ThreadPool::global().parallelFor(10,
+                                     [&](std::size_t) { ++count; });
+    EXPECT_EQ(count.load(), 10);
+    ThreadPool::setGlobalSize(1);
+    EXPECT_EQ(ThreadPool::global().size(), 1u);
+}
+
+TEST(ThreadPoolTest, ConfiguredSizeParsesEnvironment)
+{
+    ::setenv("SRSIM_THREADS", "6", 1);
+    EXPECT_EQ(ThreadPool::configuredSize(), 6u);
+    ::setenv("SRSIM_THREADS", "1", 1);
+    EXPECT_EQ(ThreadPool::configuredSize(), 1u);
+    ::setenv("SRSIM_THREADS", "banana", 1);
+    EXPECT_GE(ThreadPool::configuredSize(), 1u);
+    ::setenv("SRSIM_THREADS", "0", 1);
+    EXPECT_GE(ThreadPool::configuredSize(), 1u);
+    ::unsetenv("SRSIM_THREADS");
+    EXPECT_GE(ThreadPool::configuredSize(), 1u);
+}
+
+TEST(ThreadPoolTest, DeriveSeedGivesDistinctIndependentStreams)
+{
+    std::set<std::uint64_t> seeds;
+    for (std::uint64_t base : {0ull, 1ull, 12345ull})
+        for (std::uint64_t r = 0; r < 64; ++r)
+            seeds.insert(deriveSeed(base, r));
+    // No collisions across 3 bases x 64 streams.
+    EXPECT_EQ(seeds.size(), 3u * 64u);
+    // And the derivation is a pure function.
+    EXPECT_EQ(deriveSeed(42, 7), deriveSeed(42, 7));
+    EXPECT_NE(deriveSeed(42, 7), deriveSeed(42, 8));
+}
+
+} // namespace
+} // namespace srsim
