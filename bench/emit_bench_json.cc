@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Machine-readable benchmark emitter: runs the micro_perf scenarios
+ * once each (no google-benchmark statistics — this is a CI artifact,
+ * not a measurement paper) with the metrics registry enabled, and
+ * writes `{"benchmarks": [{"name", "wall_ms", "counters": {...}}]}`
+ * so `bench/` runs populate BENCH_srsim.json for trend tracking.
+ *
+ * Usage: emit_bench_json [out.json]   (default: BENCH_srsim.json)
+ */
+
+#include <chrono>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/sr_compiler.hh"
+#include "cpsim/cp_simulator.hh"
+#include "exp/experiment.hh"
+#include "mapping/allocation.hh"
+#include "metrics/metrics.hh"
+#include "tfg/dvb.hh"
+#include "tfg/timing.hh"
+#include "topology/generalized_hypercube.hh"
+#include "util/json.hh"
+#include "wormhole/wormhole.hh"
+
+namespace {
+
+using namespace srsim;
+
+struct DvbSetup
+{
+    DvbParams dp;
+    TaskFlowGraph g = buildDvbTfg(dp);
+    GeneralizedHypercube cube = GeneralizedHypercube::binaryCube(6);
+    TimingModel tm;
+    TaskAllocation alloc;
+
+    DvbSetup() : alloc(alloc::roundRobin(g, cube, 13))
+    {
+        tm.apSpeed = dp.matchedApSpeed();
+        tm.bandwidth = 128.0;
+    }
+};
+
+struct BenchRecord
+{
+    std::string name;
+    double wallMs = 0.0;
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+};
+
+BenchRecord
+runScenario(const std::string &name,
+            const std::function<void()> &body)
+{
+    auto &reg = metrics::Registry::global();
+    reg.clear();
+    const auto t0 = std::chrono::steady_clock::now();
+    body();
+    const auto t1 = std::chrono::steady_clock::now();
+    BenchRecord rec;
+    rec.name = name;
+    rec.wallMs =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    rec.counters = reg.counterSnapshot();
+    std::cerr << "# " << name << ": " << rec.wallMs << " ms\n";
+    return rec;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string out_path =
+        argc > 1 ? argv[1] : "BENCH_srsim.json";
+    metrics::Registry::setEnabled(true);
+
+    DvbSetup s;
+    const Time tau_c = s.tm.tauC(s.g);
+    std::vector<BenchRecord> records;
+
+    records.push_back(runScenario("sr_compile_load_1.0", [&] {
+        SrCompilerConfig cfg;
+        cfg.inputPeriod = tau_c;
+        compileScheduledRouting(s.g, s.cube, s.alloc, s.tm, cfg);
+    }));
+
+    records.push_back(runScenario("sr_compile_load_0.5", [&] {
+        SrCompilerConfig cfg;
+        cfg.inputPeriod = 2.0 * tau_c;
+        compileScheduledRouting(s.g, s.cube, s.alloc, s.tm, cfg);
+    }));
+
+    records.push_back(runScenario("wormhole_60inv", [&] {
+        WormholeConfig cfg;
+        cfg.inputPeriod = tau_c;
+        cfg.invocations = 60;
+        cfg.warmup = 5;
+        WormholeSimulator sim(s.g, s.cube, s.alloc, s.tm);
+        sim.run(cfg);
+    }));
+
+    records.push_back(runScenario("cpsim_30inv", [&] {
+        SrCompilerConfig cfg;
+        cfg.inputPeriod = 2.0 * tau_c;
+        const SrCompileResult sr = compileScheduledRouting(
+            s.g, s.cube, s.alloc, s.tm, cfg);
+        if (sr.feasible)
+            simulateCps(s.g, s.cube, s.alloc, s.tm, sr.bounds,
+                        sr.omega);
+    }));
+
+    records.push_back(runScenario("assign_paths_12restarts", [&] {
+        const TimeBounds tb = computeTimeBounds(
+            s.g, s.alloc, s.tm, 2.0 * tau_c);
+        const IntervalSet ivs(tb);
+        AssignPathsOptions opts;
+        opts.maxRestarts = 12;
+        assignPaths(s.g, s.cube, s.alloc, tb, ivs, opts);
+    }));
+
+    records.push_back(runScenario("utilization_sweep", [&] {
+        ExperimentConfig cfg;
+        runUtilizationExperiment(s.g, s.cube, s.alloc, s.tm, cfg);
+    }));
+
+    std::ofstream out(out_path);
+    if (!out) {
+        std::cerr << "cannot write " << out_path << "\n";
+        return 1;
+    }
+    JsonWriter w(out);
+    w.beginObject();
+    w.key("benchmarks").beginArray();
+    for (const BenchRecord &rec : records) {
+        w.beginObject();
+        w.kv("name", rec.name);
+        w.kv("wall_ms", rec.wallMs);
+        w.key("counters").beginObject();
+        for (const auto &[name, v] : rec.counters)
+            w.kv(name, v);
+        w.endObject();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    out << "\n";
+    std::cerr << "# wrote " << out_path << "\n";
+    return 0;
+}

@@ -14,7 +14,10 @@
 #ifndef SRSIM_BENCH_FIG_COMMON_HH_
 #define SRSIM_BENCH_FIG_COMMON_HH_
 
+#include <cctype>
 #include <chrono>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -54,6 +57,35 @@ class SweepTimer
     std::string what_;
     std::chrono::steady_clock::time_point start_;
 };
+
+/**
+ * When SRSIM_JSON_DIR is set, open `<dir>/<slug(name)>.json` for
+ * the machine-readable twin of a panel's table; otherwise return an
+ * unopened stream (callers test is_open()). The slug keeps
+ * [A-Za-z0-9]; every other run of characters becomes one '_'.
+ */
+inline std::ofstream
+jsonSink(const std::string &name)
+{
+    std::ofstream out;
+    const char *dir = std::getenv("SRSIM_JSON_DIR");
+    if (!dir || !*dir)
+        return out;
+    std::string slug;
+    for (char c : name) {
+        if (std::isalnum(static_cast<unsigned char>(c)))
+            slug += c;
+        else if (!slug.empty() && slug.back() != '_')
+            slug += '_';
+    }
+    while (!slug.empty() && slug.back() == '_')
+        slug.pop_back();
+    out.open(std::string(dir) + "/" + slug + ".json");
+    if (!out)
+        std::cerr << "# warning: cannot write JSON for '" << name
+                  << "' under " << dir << "\n";
+    return out;
+}
 
 /** Default DVB experiment setup for one fabric at one bandwidth. */
 struct FigureSetup
@@ -103,6 +135,9 @@ runThroughputPanel(const std::string &figure, const Topology &topo,
         "  (tau_m/tau_c = " +
         std::to_string(tm.tauM(g) / tm.tauC(g)) + ")";
     printThroughputSeries(std::cout, title, points);
+    std::ofstream json = jsonSink(figure + " " + topo.name());
+    if (json.is_open())
+        writeThroughputJson(json, title, points);
 }
 
 /** Run + print a Fig. 5/6 style panel (utilization only). */
@@ -123,6 +158,9 @@ runUtilizationPanel(const std::string &figure, const Topology &topo,
         ", B = " + std::to_string(static_cast<int>(bandwidth)) +
         " bytes/us";
     printUtilizationSeries(std::cout, title, points);
+    std::ofstream json = jsonSink(figure + " " + topo.name());
+    if (json.is_open())
+        writeUtilizationJson(json, title, points);
 }
 
 } // namespace bench

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "metrics/metrics.hh"
+#include "trace/trace.hh"
 #include "util/logging.hh"
 
 namespace srsim {
@@ -38,6 +40,7 @@ attemptCompile(const TaskFlowGraph &g, const Topology &topo,
     const IntervalSet &ivs = *res.intervals;
 
     if (cfg.useAssignPaths) {
+        trace::ScopedPhase phase("assign_paths");
         AssignPathsResult ap = assignPaths(g, topo, alloc,
                                            res.bounds, ivs,
                                            assign_opts);
@@ -46,6 +49,7 @@ attemptCompile(const TaskFlowGraph &g, const Topology &topo,
         res.assignRestarts = ap.restarts;
         res.assignReroutes = ap.reroutes;
     } else {
+        trace::ScopedPhase phase("lsd_to_msd");
         res.paths = lsdToMsdAssignment(g, topo, alloc, res.bounds);
         UtilizationAnalyzer ua(res.bounds, ivs, topo);
         res.utilization = ua.analyze(res.paths);
@@ -62,13 +66,18 @@ attemptCompile(const TaskFlowGraph &g, const Topology &topo,
     }
 
     // Sec. 5.2: maximal subsets, then message-interval allocation.
-    const auto subsets =
-        computeMaximalSubsets(res.bounds, ivs, res.paths);
+    const auto subsets = [&] {
+        trace::ScopedPhase phase("subsets");
+        return computeMaximalSubsets(res.bounds, ivs, res.paths);
+    }();
     res.numSubsets = subsets.size();
 
-    res.allocation = allocateMessageIntervals(
-        res.bounds, ivs, res.paths, subsets, cfg.allocMethod,
-        cfg.scheduling.guardTime, cfg.scheduling.packetTime);
+    {
+        trace::ScopedPhase phase("interval_allocation");
+        res.allocation = allocateMessageIntervals(
+            res.bounds, ivs, res.paths, subsets, cfg.allocMethod,
+            cfg.scheduling.guardTime, cfg.scheduling.packetTime);
+    }
     if (!res.allocation.feasible) {
         res.stage = SrFailureStage::Allocation;
         std::ostringstream oss;
@@ -79,9 +88,12 @@ attemptCompile(const TaskFlowGraph &g, const Topology &topo,
     }
 
     // Sec. 5.3: interval scheduling.
-    res.schedule = scheduleIntervals(res.bounds, ivs, res.paths,
-                                     subsets, res.allocation,
-                                     cfg.scheduling);
+    {
+        trace::ScopedPhase phase("interval_scheduling");
+        res.schedule = scheduleIntervals(res.bounds, ivs, res.paths,
+                                         subsets, res.allocation,
+                                         cfg.scheduling);
+    }
     if (!res.schedule.feasible) {
         res.stage = SrFailureStage::Scheduling;
         std::ostringstream oss;
@@ -109,7 +121,10 @@ compileScheduledRouting(const TaskFlowGraph &g, const Topology &topo,
     SrCompileResult res;
 
     // Sec. 4: message time bounds in the folded frame.
-    res.bounds = computeTimeBounds(g, alloc, tm, cfg.inputPeriod);
+    {
+        trace::ScopedPhase phase("time_bounds");
+        res.bounds = computeTimeBounds(g, alloc, tm, cfg.inputPeriod);
+    }
 
     // Degenerate but legal: everything co-located.
     if (res.bounds.messages.empty()) {
@@ -138,7 +153,10 @@ compileScheduledRouting(const TaskFlowGraph &g, const Topology &topo,
     }
 
     // Sec. 5.1: interval decomposition and activity matrix.
-    res.intervals.emplace(res.bounds);
+    {
+        trace::ScopedPhase phase("intervals");
+        res.intervals.emplace(res.bounds);
+    }
 
     // The Fig. 3 pipeline, with optional feedback: a failed
     // allocation or scheduling (or utilization gate) retries with
@@ -158,8 +176,24 @@ compileScheduledRouting(const TaskFlowGraph &g, const Topology &topo,
         if (!cfg.useAssignPaths)
             break;
     }
-    if (!ok)
+    if (SRSIM_METRICS_ENABLED()) {
+        auto &reg = metrics::Registry::global();
+        reg.counter("sr.compiles").add();
+        reg.counter("sr.assign_restarts")
+            .add(static_cast<std::uint64_t>(res.assignRestarts));
+        reg.counter("sr.assign_reroutes")
+            .add(static_cast<std::uint64_t>(res.assignReroutes));
+        reg.counter("sr.feedback_rounds")
+            .add(static_cast<std::uint64_t>(res.feedbackRoundsUsed));
+    }
+    if (!ok) {
+        if (SRSIM_METRICS_ENABLED())
+            metrics::Registry::global()
+                .counter(std::string("sr.failures.") +
+                         srFailureStageName(res.stage))
+                .add();
         return res;
+    }
 
     // Sec. 5.4: assemble Omega.
     res.omega.period = cfg.inputPeriod;
@@ -167,6 +201,7 @@ compileScheduledRouting(const TaskFlowGraph &g, const Topology &topo,
     res.omega.paths = res.paths;
 
     if (cfg.verify) {
+        trace::ScopedPhase phase("verify");
         res.verification = verifySchedule(g, topo, alloc, res.bounds,
                                           res.omega);
         if (!res.verification.ok) {
@@ -174,6 +209,10 @@ compileScheduledRouting(const TaskFlowGraph &g, const Topology &topo,
             res.detail = res.verification.violations.empty()
                              ? "verifier rejected schedule"
                              : res.verification.violations.front();
+            if (SRSIM_METRICS_ENABLED())
+                metrics::Registry::global()
+                    .counter("sr.failures.verification")
+                    .add();
             return res;
         }
     }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "metrics/metrics.hh"
+#include "trace/trace.hh"
 #include "util/logging.hh"
 
 namespace srsim {
@@ -66,6 +68,13 @@ executeSchedule(const TaskFlowGraph &g, const TaskAllocation &alloc,
     std::vector<Time> start(nt), finish(nt);
     std::vector<Time> prev_finish(nt, -1.0);
 
+    const bool tracing = SRSIM_TRACE_ENABLED();
+    metrics::Counter *premiseCtr =
+        SRSIM_METRICS_ENABLED()
+            ? &metrics::Registry::global().counter(
+                  "sr_exec.premise_violations")
+            : nullptr;
+
     for (int j = 0; j < invocations; ++j) {
         const Time arrival = j * period;
         for (TaskId t : order) {
@@ -114,6 +123,9 @@ executeSchedule(const TaskFlowGraph &g, const TaskAllocation &alloc,
             }
             start[ti] = s;
             finish[ti] = s + tm.taskTime(g, t);
+            if (tracing)
+                trace::taskSpan(alloc.nodeOf(t), g.task(t).name, j,
+                                start[ti], finish[ti] - start[ti]);
         }
 
         Time complete = 0.0;
@@ -123,8 +135,16 @@ executeSchedule(const TaskFlowGraph &g, const TaskAllocation &alloc,
         res.starts.push_back(arrival);
         res.completions.push_back(complete);
         prev_finish = finish;
+        if (tracing)
+            trace::invocationComplete(j, complete);
     }
-    (void)alloc;
+    if (res.premiseViolated) {
+        if (premiseCtr)
+            premiseCtr->add(res.notes.size());
+        if (tracing)
+            for (const std::string &n : res.notes)
+                trace::violation(n, 0.0);
+    }
     return res;
 }
 

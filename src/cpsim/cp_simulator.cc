@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <deque>
 #include <limits>
+#include <map>
 #include <sstream>
 
+#include "metrics/metrics.hh"
 #include "sim/event_queue.hh"
+#include "trace/trace.hh"
 #include "util/logging.hh"
 
 namespace srsim {
@@ -90,6 +93,16 @@ struct CpSimState
     std::vector<int> outputsRemaining;
     std::vector<bool> isOutputTask;
 
+    /** Dedup: violation key -> index into result.violations. */
+    std::map<std::string, std::size_t> violationIdx;
+
+    // Observability (dormant unless the run is traced/metered).
+    const bool tracing = SRSIM_TRACE_ENABLED();
+    const bool metering = SRSIM_METRICS_ENABLED();
+    metrics::Counter *violationCtr = nullptr;
+    metrics::Counter *commandCtr = nullptr;
+    metrics::LinkTimeline *timeline = nullptr;
+
     CpSimState(const TaskFlowGraph &g_, const Topology &topo_,
                const TaskAllocation &alloc_, const TimingModel &tm_,
                const TimeBounds &bounds_,
@@ -124,6 +137,12 @@ struct CpSimState
             static_cast<std::size_t>(cfg.invocations));
         result.completions.assign(
             static_cast<std::size_t>(cfg.invocations), 0.0);
+        if (metering) {
+            auto &reg = metrics::Registry::global();
+            violationCtr = &reg.counter("cpsim.violations");
+            commandCtr = &reg.counter("cpsim.commands_executed");
+            timeline = &reg.timeline("cpsim.links");
+        }
     }
 
     std::size_t
@@ -142,10 +161,31 @@ struct CpSimState
                static_cast<std::size_t>(t);
     }
 
+    /**
+     * Record one invariant violation.
+     *
+     * @param key context-free identity of the failure (no times,
+     * no invocation numbers); repeats under the same key collapse
+     * into one reported message with a count.
+     * @param why the full human-readable report (first occurrence
+     * is the one kept).
+     */
     void
-    violation(const std::string &why)
+    violation(const std::string &key, const std::string &why)
     {
-        result.violations.push_back(why);
+        ++result.totalViolations;
+        if (violationCtr)
+            violationCtr->add();
+        if (tracing)
+            trace::violation(why, eq.now());
+        auto [it, fresh] = violationIdx.emplace(
+            key, result.violations.size());
+        if (fresh) {
+            result.violations.push_back(why);
+            result.violationRepeats.push_back(1);
+        } else {
+            ++result.violationRepeats[it->second];
+        }
         if (cfg.stopOnViolation)
             aborted = true;
     }
@@ -235,6 +275,8 @@ struct CpSimState
     {
         const NodeId node = alloc.nodeOf(t);
         aps[static_cast<std::size_t>(node)].busy = true;
+        if (tracing)
+            trace::taskBegin(node, g.task(t).name, j, eq.now());
         eq.scheduleAfter(tm.taskTime(g, t),
                          [this, t, j] { finishTask(t, j); });
     }
@@ -245,6 +287,8 @@ struct CpSimState
         if (aborted)
             return;
         taskFinish[tiIdx(t, j)] = eq.now();
+        if (tracing)
+            trace::taskEnd(alloc.nodeOf(t), j, eq.now());
         if (isOutputTask[static_cast<std::size_t>(t)])
             outputDone(j);
 
@@ -285,8 +329,11 @@ struct CpSimState
     {
         const std::size_t ji = static_cast<std::size_t>(j);
         outputFinish[ji] = std::max(outputFinish[ji], eq.now());
-        if (--outputsRemaining[ji] == 0)
+        if (--outputsRemaining[ji] == 0) {
             result.completions[ji] = outputFinish[ji];
+            if (tracing)
+                trace::invocationComplete(j, eq.now());
+        }
     }
 
     // ----- CP / link model -------------------------------------
@@ -299,17 +346,37 @@ struct CpSimState
         const Path &p = omega.paths.pathFor(ev.msgIdx);
         const Message &m =
             g.message(bounds.messages[ev.msgIdx].msg);
+        const Time dur = ev.end - ev.start;
+        if (tracing) {
+            trace::msgWindowSpan(m.id, m.name, ev.invocation,
+                                 ev.start, dur);
+            // One crossbar command per CP on the path (the node
+            // switching schedules omega_i of Sec. 4.1).
+            for (NodeId n : p.nodes)
+                trace::xbarExecute(n, m.name, m.id, ev.invocation,
+                                   ev.start, dur);
+        }
+        if (commandCtr)
+            commandCtr->add(p.nodes.size());
         for (LinkId l : p.links) {
+            if (tracing)
+                trace::linkOccupy(l, m.name, m.id, ev.invocation,
+                                  ev.start, dur);
+            if (timeline)
+                timeline->occupy(l, ev.start, ev.end);
             LinkClaim &c = linkClaims[static_cast<std::size_t>(l)];
             if (timeLt(eq.now(), c.until) &&
                 !(c.msgIdx == ev.msgIdx &&
                   c.invocation == ev.invocation)) {
+                std::ostringstream key;
+                key << "double-booked link " << l << " msg "
+                    << ev.msgIdx << " vs " << c.msgIdx;
                 std::ostringstream oss;
                 oss << "link " << l << " double-booked at t="
                     << eq.now() << ": '" << m.name << "'@inv"
                     << ev.invocation << " vs message index "
                     << c.msgIdx << "@inv" << c.invocation;
-                violation(oss.str());
+                violation(key.str(), oss.str());
                 if (aborted)
                     return;
                 continue;
@@ -342,7 +409,8 @@ struct CpSimState
                         ? -1.0
                         : deposit[mi])
                 << ")";
-            violation(oss.str());
+            violation("premature msg " + std::to_string(ev.msgIdx),
+                      oss.str());
             if (aborted)
                 return;
         }
@@ -359,7 +427,9 @@ struct CpSimState
             oss << "message '" << m.name << "'@inv"
                 << ev.invocation << " delivered "
                 << bytesDone[mi] << " of " << m.bytes << " bytes";
-            violation(oss.str());
+            violation("short-delivery msg " +
+                          std::to_string(ev.msgIdx),
+                      oss.str());
             if (aborted)
                 return;
         }
@@ -373,7 +443,8 @@ struct CpSimState
             oss << "message '" << m.name << "'@inv"
                 << ev.invocation << " missed its deadline by "
                 << eq.now() - (release + bounds.tauC) << " us";
-            violation(oss.str());
+            violation("deadline msg " + std::to_string(ev.msgIdx),
+                      oss.str());
             if (aborted)
                 return;
         }
@@ -400,15 +471,25 @@ simulateCps(const TaskFlowGraph &g, const Topology &topo,
     st.eq.run();
 
     // Invocations that never completed (possible under injected
-    // corruption) are reported.
+    // corruption) are reported, collapsed like any other repeated
+    // violation.
     for (int j = 0; j < cfg.invocations; ++j) {
         if (st.result.completions[static_cast<std::size_t>(j)] <=
                 0.0 &&
             !st.aborted) {
             std::ostringstream oss;
             oss << "invocation " << j << " never completed";
-            st.result.violations.push_back(oss.str());
+            st.violation("never-completed", oss.str());
         }
+    }
+
+    // Dedup finalization: annotate collapsed repeats.
+    for (std::size_t i = 0; i < st.result.violations.size(); ++i) {
+        if (st.result.violationRepeats[i] > 1)
+            st.result.violations[i] +=
+                " [x" +
+                std::to_string(st.result.violationRepeats[i]) +
+                "]";
     }
     return std::move(st.result);
 }

@@ -65,8 +65,19 @@ struct CpSimResult
     std::vector<Time> starts;
     /** Completion per invocation (0 when it never completed). */
     std::vector<Time> completions;
-    /** Dynamic invariant violations observed. */
+    /**
+     * Dynamic invariant violations observed, deduplicated: repeats
+     * of the same violation (same kind, link/message — differing
+     * only in invocation or instant) collapse into the first
+     * occurrence, suffixed with " [xN]" when N > 1, so a
+     * corrupted-Omega run reports each distinct failure once
+     * instead of flooding one line per invocation.
+     */
     std::vector<std::string> violations;
+    /** Occurrences behind each violations[i] (>= 1). */
+    std::vector<std::size_t> violationRepeats;
+    /** Violations observed before deduplication. */
+    std::uint64_t totalViolations = 0;
     /** Crossbar commands executed across all CPs. */
     std::uint64_t commandsExecuted = 0;
 

@@ -4,6 +4,7 @@
 
 #include "core/intervals.hh"
 #include "core/sr_executor.hh"
+#include "util/json.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
 #include "util/thread_pool.hh"
@@ -186,6 +187,74 @@ printThroughputSeries(std::ostream &os, const std::string &title,
                   slat, status});
     }
     t.print(os);
+    os << "\n";
+}
+
+void
+writeUtilizationJson(std::ostream &os, const std::string &title,
+                     const std::vector<UtilizationPoint> &points)
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.kv("title", title);
+    w.kv("kind", "utilization");
+    w.key("points").beginArray();
+    for (const UtilizationPoint &p : points) {
+        w.beginObject();
+        w.kv("load", p.load);
+        w.kv("input_period_us", p.inputPeriod);
+        w.kv("u_lsd_to_msd", p.uLsdToMsd);
+        w.kv("u_assign_paths", p.uAssignPaths);
+        w.kv("sr_attemptable", p.uAssignPaths <= 1.0 + 1e-9);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << "\n";
+}
+
+void
+writeThroughputJson(std::ostream &os, const std::string &title,
+                    const std::vector<LoadPoint> &points)
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.kv("title", title);
+    w.kv("kind", "throughput");
+    w.key("points").beginArray();
+    for (const LoadPoint &p : points) {
+        w.beginObject();
+        w.kv("load", p.load);
+        w.kv("input_period_us", p.inputPeriod);
+        w.key("wormhole").beginObject();
+        w.kv("deadlocked", p.wrDeadlocked);
+        w.kv("output_inconsistent", p.wrInconsistent);
+        if (!p.wrDeadlocked) {
+            w.key("throughput").beginObject();
+            w.kv("min", p.wrThrMin);
+            w.kv("avg", p.wrThrAvg);
+            w.kv("max", p.wrThrMax);
+            w.endObject();
+            w.key("latency").beginObject();
+            w.kv("min", p.wrLatMin);
+            w.kv("avg", p.wrLatAvg);
+            w.kv("max", p.wrLatMax);
+            w.endObject();
+        }
+        w.endObject();
+        w.key("scheduled").beginObject();
+        w.kv("feasible", p.srFeasible);
+        w.kv("stage", srFailureStageName(p.srStage));
+        w.kv("peak_utilization", p.srPeakU);
+        if (p.srFeasible) {
+            w.kv("throughput", p.srThroughput);
+            w.kv("latency", p.srLatency);
+        }
+        w.endObject();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
     os << "\n";
 }
 

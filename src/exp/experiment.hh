@@ -109,6 +109,23 @@ void
 printThroughputSeries(std::ostream &os, const std::string &title,
                       const std::vector<LoadPoint> &points);
 
+/**
+ * Machine-readable mirror of printUtilizationSeries: one JSON
+ * object `{"title": ..., "points": [...]}` with every field of
+ * every UtilizationPoint, for plotting pipelines.
+ */
+void
+writeUtilizationJson(std::ostream &os, const std::string &title,
+                     const std::vector<UtilizationPoint> &points);
+
+/**
+ * Machine-readable mirror of printThroughputSeries: one JSON
+ * object with every field of every LoadPoint per load point.
+ */
+void
+writeThroughputJson(std::ostream &os, const std::string &title,
+                    const std::vector<LoadPoint> &points);
+
 } // namespace srsim
 
 #endif // SRSIM_EXP_EXPERIMENT_HH_

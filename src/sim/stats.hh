@@ -11,6 +11,7 @@
 #ifndef SRSIM_SIM_STATS_HH_
 #define SRSIM_SIM_STATS_HH_
 
+#include <cmath>
 #include <cstddef>
 #include <limits>
 
@@ -19,13 +20,18 @@
 
 namespace srsim {
 
-/** Running min/mean/max accumulator. */
+/**
+ * Running min/mean/max/variance accumulator (Welford's online
+ * update for the second moment, numerically stable for the long
+ * near-constant series SR runs produce).
+ */
 class SeriesStats
 {
   public:
     void
     add(double v)
     {
+        SRSIM_ASSERT(!std::isnan(v), "NaN sample added to series");
         if (count_ == 0) {
             min_ = max_ = v;
         } else {
@@ -36,6 +42,9 @@ class SeriesStats
         }
         sum_ += v;
         ++count_;
+        const double delta = v - mean_;
+        mean_ += delta / static_cast<double>(count_);
+        m2_ += delta * (v - mean_);
     }
 
     std::size_t count() const { return count_; }
@@ -61,6 +70,17 @@ class SeriesStats
         return sum_ / static_cast<double>(count_);
     }
 
+    /** Population variance (zero for a single sample). */
+    double
+    variance() const
+    {
+        SRSIM_ASSERT(count_ > 0, "variance of empty series");
+        return m2_ / static_cast<double>(count_);
+    }
+
+    /** Population standard deviation. */
+    double stddev() const { return std::sqrt(variance()); }
+
     /** Spread max - min; zero for constant series. */
     double spread() const { return max() - min(); }
 
@@ -76,6 +96,8 @@ class SeriesStats
     double min_ = std::numeric_limits<double>::infinity();
     double max_ = -std::numeric_limits<double>::infinity();
     double sum_ = 0.0;
+    double mean_ = 0.0;   ///< Welford running mean
+    double m2_ = 0.0;     ///< Welford sum of squared deviations
 };
 
 } // namespace srsim

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Minimal streaming JSON writer for srsim's machine-readable
+ * outputs (trace exports, metrics dumps, per-load-point experiment
+ * reports, BENCH_*.json).
+ *
+ * Deliberately tiny: a comma/nesting state machine over an ostream.
+ * Strings are escaped per RFC 8259; doubles print with "%.12g" so
+ * output is deterministic and round-trips the magnitudes srsim uses
+ * (microsecond times well below 1e9); non-finite doubles become
+ * null, which keeps every emitted document valid JSON.
+ */
+
+#ifndef SRSIM_UTIL_JSON_HH_
+#define SRSIM_UTIL_JSON_HH_
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace srsim {
+
+/** Streaming writer for one JSON document. */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os) : os_(os) {}
+
+    JsonWriter(const JsonWriter &) = delete;
+    JsonWriter &operator=(const JsonWriter &) = delete;
+
+    JsonWriter &
+    beginObject()
+    {
+        element();
+        os_ << '{';
+        stack_.push_back({false, 0});
+        return *this;
+    }
+
+    JsonWriter &
+    endObject()
+    {
+        SRSIM_ASSERT(!stack_.empty() && !stack_.back().array,
+                     "endObject outside an object");
+        stack_.pop_back();
+        os_ << '}';
+        return *this;
+    }
+
+    JsonWriter &
+    beginArray()
+    {
+        element();
+        os_ << '[';
+        stack_.push_back({true, 0});
+        return *this;
+    }
+
+    JsonWriter &
+    endArray()
+    {
+        SRSIM_ASSERT(!stack_.empty() && stack_.back().array,
+                     "endArray outside an array");
+        stack_.pop_back();
+        os_ << ']';
+        return *this;
+    }
+
+    /** Emit an object key; the next value/begin* is its value. */
+    JsonWriter &
+    key(const std::string &k)
+    {
+        SRSIM_ASSERT(!stack_.empty() && !stack_.back().array,
+                     "key outside an object");
+        comma();
+        writeString(k);
+        os_ << ':';
+        pendingValue_ = true;
+        return *this;
+    }
+
+    JsonWriter &
+    value(const std::string &v)
+    {
+        element();
+        writeString(v);
+        return *this;
+    }
+
+    JsonWriter &
+    value(const char *v)
+    {
+        return value(std::string(v));
+    }
+
+    JsonWriter &
+    value(double v)
+    {
+        element();
+        if (!std::isfinite(v)) {
+            os_ << "null";
+        } else {
+            char buf[40];
+            std::snprintf(buf, sizeof(buf), "%.12g", v);
+            os_ << buf;
+        }
+        return *this;
+    }
+
+    JsonWriter &
+    value(std::uint64_t v)
+    {
+        element();
+        os_ << v;
+        return *this;
+    }
+
+    JsonWriter &
+    value(std::int64_t v)
+    {
+        element();
+        os_ << v;
+        return *this;
+    }
+
+    JsonWriter &
+    value(int v)
+    {
+        return value(static_cast<std::int64_t>(v));
+    }
+
+    JsonWriter &
+    value(bool v)
+    {
+        element();
+        os_ << (v ? "true" : "false");
+        return *this;
+    }
+
+    /** key(k) + value(v) in one call. */
+    template <typename V>
+    JsonWriter &
+    kv(const std::string &k, V &&v)
+    {
+        key(k);
+        return value(std::forward<V>(v));
+    }
+
+  private:
+    struct Frame
+    {
+        bool array = false;
+        std::size_t count = 0;
+    };
+
+    void
+    comma()
+    {
+        if (!stack_.empty() && stack_.back().count++ > 0)
+            os_ << ',';
+    }
+
+    /** Comma bookkeeping for a value/container element. */
+    void
+    element()
+    {
+        if (pendingValue_) {
+            pendingValue_ = false; // value follows its key
+            return;
+        }
+        comma();
+    }
+
+    void
+    writeString(const std::string &s)
+    {
+        os_ << '"';
+        for (const char c : s) {
+            switch (c) {
+              case '"': os_ << "\\\""; break;
+              case '\\': os_ << "\\\\"; break;
+              case '\n': os_ << "\\n"; break;
+              case '\r': os_ << "\\r"; break;
+              case '\t': os_ << "\\t"; break;
+              default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x",
+                                  static_cast<unsigned>(
+                                      static_cast<unsigned char>(c)));
+                    os_ << buf;
+                } else {
+                    os_ << c;
+                }
+            }
+        }
+        os_ << '"';
+    }
+
+    std::ostream &os_;
+    std::vector<Frame> stack_;
+    bool pendingValue_ = false;
+};
+
+} // namespace srsim
+
+#endif // SRSIM_UTIL_JSON_HH_

@@ -5,7 +5,9 @@
 #include <deque>
 #include <sstream>
 
+#include "metrics/metrics.hh"
 #include "sim/event_queue.hh"
+#include "trace/trace.hh"
 #include "util/logging.hh"
 
 namespace srsim {
@@ -89,6 +91,12 @@ struct WormholeSimulator::Impl
         double rate = 0.0;        ///< bytes per microsecond
         Time lastUpdate = 0.0;
         std::uint32_t gen = 0;    ///< invalidates stale events
+        /**
+         * Acquire instant per captured link (parallel to the
+         * acquired prefix of the path); populated only while
+         * tracing/metrics are on.
+         */
+        std::vector<Time> acquireTs;
     };
 
     /** FCFS state of one half-duplex link. */
@@ -136,9 +144,25 @@ struct WormholeSimulator::Impl
     WormholeResult result;
     int recorded = 0;
 
+    // Observability (all dormant unless the run is traced/metered).
+    const bool tracing = SRSIM_TRACE_ENABLED();
+    const bool metering = SRSIM_METRICS_ENABLED();
+    metrics::Counter *injectedCtr = nullptr;
+    metrics::Counter *blockCtr = nullptr;
+    metrics::Counter *deadlockCtr = nullptr;
+    metrics::LinkTimeline *timeline = nullptr;
+
     Impl(WormholeSimulator &s, const WormholeConfig &c)
         : sim(s), cfg(c)
     {
+        if (metering) {
+            auto &reg = metrics::Registry::global();
+            injectedCtr =
+                &reg.counter("wormhole.messages_injected");
+            blockCtr = &reg.counter("wormhole.link_blocks");
+            deadlockCtr = &reg.counter("wormhole.deadlocks");
+            timeline = &reg.timeline("wormhole.links");
+        }
         const std::size_t nmsg =
             static_cast<std::size_t>(sim.g_.numMessages());
         const std::size_t ninv =
@@ -217,6 +241,9 @@ struct WormholeSimulator::Impl
         ti.started = true;
         const NodeId node = sim.alloc_.nodeOf(t);
         aps[static_cast<std::size_t>(node)].busy = true;
+        if (tracing)
+            trace::taskBegin(node, sim.g_.task(t).name, j,
+                             eq.now());
         const Time dur = sim.tm_.taskTime(sim.g_, t);
         eq.scheduleAfter(dur, [this, t, j] { finishTask(t, j); });
     }
@@ -226,6 +253,8 @@ struct WormholeSimulator::Impl
     {
         TaskInstance &ti = taskInst[taskIdx(t, j)];
         ti.finished = true;
+        if (tracing)
+            trace::taskEnd(sim.alloc_.nodeOf(t), j, eq.now());
         if (isOutputTask[static_cast<std::size_t>(t)])
             outputDone(t, j);
 
@@ -256,6 +285,8 @@ struct WormholeSimulator::Impl
             rec.complete = outputFinish[ji];
             result.records.push_back(rec);
             ++recorded;
+            if (tracing)
+                trace::invocationComplete(j, eq.now());
         }
     }
 
@@ -266,6 +297,8 @@ struct WormholeSimulator::Impl
         MsgInstance &mi = instances[idx];
         mi.msg = m;
         mi.invocation = j;
+        if (injectedCtr)
+            injectedCtr->add();
         const Message &msg = sim.g_.message(m);
         if (sim.alloc_.nodeOf(msg.src) ==
             sim.alloc_.nodeOf(msg.dst)) {
@@ -285,6 +318,10 @@ struct WormholeSimulator::Impl
         if (mi.acquired == p.links.size()) {
             // Whole path captured: transmit.
             mi.transmitting = true;
+            if (tracing)
+                trace::msgWindowBegin(
+                    mi.msg, sim.g_.message(mi.msg).name,
+                    mi.invocation, eq.now());
             if (cfg.fairShare) {
                 // Progressive filling: rate depends on the sharing
                 // pattern, recomputed as it changes.
@@ -309,11 +346,31 @@ struct WormholeSimulator::Impl
         if (ls.hasRoom(vcs()) && ls.waiters.empty()) {
             ls.occupants.push_back(idx);
             ++mi.acquired;
+            noteAcquire(mi, l);
             requestNextLink(idx);
         } else {
             mi.waitingOn = l;
             ls.waiters.push_back(idx);
+            if (blockCtr)
+                blockCtr->add();
+            if (tracing)
+                trace::linkBlocked(l,
+                                   sim.g_.message(mi.msg).name,
+                                   mi.msg, mi.invocation,
+                                   eq.now());
         }
+    }
+
+    /** Record a successful link capture (trace + timeline). */
+    void
+    noteAcquire(MsgInstance &mi, LinkId l)
+    {
+        if (!tracing && !metering)
+            return;
+        mi.acquireTs.push_back(eq.now());
+        if (tracing)
+            trace::linkAcquire(l, sim.g_.message(mi.msg).name,
+                               mi.msg, mi.invocation, eq.now());
     }
 
     /**
@@ -368,14 +425,22 @@ struct WormholeSimulator::Impl
 
         // Release every link, then hand each to its next waiter.
         // Two passes so a cascading re-acquire sees all releases.
-        for (LinkId l : p.links) {
+        for (std::size_t k = 0; k < p.links.size(); ++k) {
+            const LinkId l = p.links[k];
             LinkState &ls = links[static_cast<std::size_t>(l)];
             auto it = std::find(ls.occupants.begin(),
                                 ls.occupants.end(), idx);
             SRSIM_ASSERT(it != ls.occupants.end(),
                          "release of foreign link");
             ls.occupants.erase(it);
+            if (tracing)
+                trace::linkRelease(l, mi.msg, mi.invocation,
+                                   eq.now());
+            if (timeline && k < mi.acquireTs.size())
+                timeline->occupy(l, mi.acquireTs[k], eq.now());
         }
+        if (tracing)
+            trace::msgWindowEnd(mi.msg, mi.invocation, eq.now());
         deliver(idx);
         for (LinkId l : p.links)
             grantNext(l);
@@ -395,6 +460,7 @@ struct WormholeSimulator::Impl
             mi.waitingOn = kInvalidLink;
             ls.occupants.push_back(next);
             ++mi.acquired;
+            noteAcquire(mi, l);
             requestNextLink(next);
         }
     }
@@ -490,6 +556,10 @@ struct WormholeSimulator::Impl
                     ? "simulation stalled before all invocations "
                       "completed"
                     : cycle;
+            if (deadlockCtr)
+                deadlockCtr->add();
+            if (tracing)
+                trace::deadlock(result.deadlockInfo, eq.now());
         }
         std::sort(result.records.begin(), result.records.end(),
                   [](const InvocationRecord &a,

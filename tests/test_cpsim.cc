@@ -157,6 +157,39 @@ TEST_F(CpSimFixture, DetectsDeadlineMiss)
     EXPECT_TRUE(found);
 }
 
+TEST_F(CpSimFixture, RepeatedViolationsAreDeduplicated)
+{
+    GlobalSchedule bad = sr.omega;
+    // The same double-booking recurs every invocation; the report
+    // must collapse the repeats into one line with a count instead
+    // of flooding one line per invocation.
+    bad.paths.paths[1] = bad.paths.paths[0];
+    bad.segments[1] = bad.segments[0];
+    CpSimConfig cfg;
+    cfg.invocations = 20;
+    const CpSimResult r =
+        simulateCps(g, cube, alloc, tm, sr.bounds, bad, cfg);
+    ASSERT_FALSE(r.ok());
+    ASSERT_EQ(r.violations.size(), r.violationRepeats.size());
+    EXPECT_LT(r.violations.size(), r.totalViolations);
+    std::uint64_t repeats = 0;
+    bool suffixed = false;
+    for (std::size_t i = 0; i < r.violations.size(); ++i) {
+        repeats += r.violationRepeats[i];
+        if (r.violationRepeats[i] > 1) {
+            EXPECT_NE(r.violations[i].find(
+                          " [x" +
+                          std::to_string(r.violationRepeats[i]) +
+                          "]"),
+                      std::string::npos)
+                << r.violations[i];
+            suffixed = true;
+        }
+    }
+    EXPECT_EQ(repeats, r.totalViolations);
+    EXPECT_TRUE(suffixed);
+}
+
 TEST_F(CpSimFixture, StopOnViolationAborts)
 {
     GlobalSchedule bad = sr.omega;

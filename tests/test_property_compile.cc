@@ -26,9 +26,11 @@
 #include "core/sr_compiler.hh"
 #include "core/verifier.hh"
 #include "mapping/allocation.hh"
+#include "metrics/metrics.hh"
 #include "tfg/random_tfg.hh"
 #include "tfg/timing.hh"
 #include "topology/factory.hh"
+#include "trace/trace.hh"
 #include "util/rng.hh"
 #include "util/thread_pool.hh"
 
@@ -166,6 +168,37 @@ TEST(PropertyCompileTest, SerialAndParallelCompilesAreByteIdentical)
             EXPECT_EQ(compileFingerprint(in), serial)
                 << "seed " << seed << " threads " << threads;
         }
+        ThreadPool::setGlobalSize(1);
+    }
+}
+
+/**
+ * Observability must be pure observation: with tracing and metrics
+ * switched on, every compile still serializes byte-identically to
+ * the untraced serial baseline, at 1, 2, and 8 threads.
+ */
+TEST(PropertyCompileTest, ObservabilityDoesNotPerturbCompiles)
+{
+    for (std::uint64_t seed : {3ull, 27ull}) {
+        const Instance in = makeInstance(seed);
+
+        ThreadPool::setGlobalSize(1);
+        const std::string baseline = compileFingerprint(in);
+
+        trace::Tracer::setEnabled(true);
+        metrics::Registry::setEnabled(true);
+        for (std::size_t threads : {1u, 2u, 8u}) {
+            ThreadPool::setGlobalSize(threads);
+            trace::Tracer::instance().clear();
+            EXPECT_EQ(compileFingerprint(in), baseline)
+                << "seed " << seed << " threads " << threads;
+            EXPECT_GT(trace::Tracer::instance().size(), 0u)
+                << "tracing was supposed to be on";
+        }
+        trace::Tracer::setEnabled(false);
+        metrics::Registry::setEnabled(false);
+        trace::Tracer::instance().clear();
+        metrics::Registry::global().clear();
         ThreadPool::setGlobalSize(1);
     }
 }

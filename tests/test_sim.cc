@@ -3,6 +3,7 @@
  * Tests for the discrete-event kernel and the statistics helpers.
  */
 
+#include <cmath>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -107,6 +108,47 @@ TEST(SeriesStatsTest, EmptyStatsPanics)
     SeriesStats s;
     EXPECT_THROW(s.min(), PanicError);
     EXPECT_THROW(s.mean(), PanicError);
+    EXPECT_THROW(s.variance(), PanicError);
+}
+
+TEST(SeriesStatsTest, VarianceAndStddev)
+{
+    SeriesStats s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    // Classic example: population variance 4, stddev 2.
+    EXPECT_NEAR(s.variance(), 4.0, 1e-12);
+    EXPECT_NEAR(s.stddev(), 2.0, 1e-12);
+}
+
+TEST(SeriesStatsTest, VarianceOfConstantSeriesIsZero)
+{
+    SeriesStats s;
+    s.add(3.25);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    s.add(3.25);
+    s.add(3.25);
+    EXPECT_NEAR(s.variance(), 0.0, 1e-15);
+    EXPECT_NEAR(s.stddev(), 0.0, 1e-15);
+}
+
+TEST(SeriesStatsTest, WelfordIsStableForLargeOffsets)
+{
+    // Naive sum-of-squares cancels catastrophically here; Welford
+    // keeps the full relative accuracy.
+    SeriesStats s;
+    const double base = 1e9;
+    for (double v : {base + 4.0, base + 7.0, base + 13.0,
+                     base + 16.0})
+        s.add(v);
+    EXPECT_NEAR(s.variance(), 22.5, 1e-6);
+}
+
+TEST(SeriesStatsTest, NanSamplePanics)
+{
+    SeriesStats s;
+    s.add(1.0);
+    EXPECT_THROW(s.add(std::nan("")), PanicError);
 }
 
 } // namespace

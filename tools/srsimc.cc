@@ -38,10 +38,13 @@
 #include "core/schedule_render.hh"
 #include "core/sr_compiler.hh"
 #include "core/sr_executor.hh"
+#include "cpsim/cp_simulator.hh"
 #include "mapping/allocation.hh"
+#include "metrics/metrics.hh"
 #include "tfg/tfg_io.hh"
 #include "tfg/timing.hh"
 #include "topology/factory.hh"
+#include "trace/trace.hh"
 #include "util/logging.hh"
 #include "wormhole/wormhole.hh"
 
@@ -81,13 +84,69 @@ usage()
         "         [--bandwidth B] [--ap-speed S] [--alloc KIND]\n"
         "         [--feedback N] [--guard T] [--seed S]\n"
         "         [--out FILE] [--svg FILE] [--node-schedules]\n"
+        "         [--trace FILE] [--trace-format chrome|csv]\n"
+        "         [--metrics FILE]\n"
         "  srsimc simulate --tfg FILE --topo SPEC --period US\n"
         "         [--bandwidth B] [--ap-speed S] [--alloc KIND]\n"
         "         [--vc N] [--invocations N]\n"
+        "         [--trace FILE] [--trace-format chrome|csv]\n"
+        "         [--metrics FILE]\n"
+        "Flags also accept --key=value.\n"
         "topology SPECs: cube:6, ghc:4,4,4, torus:8,8, mesh:4,4\n"
         "alloc KINDs: greedy (default), random, rr:<stride>, "
         "coupled\n";
     return 2;
+}
+
+/**
+ * Switch tracing / metrics on when --trace / --metrics ask for an
+ * output file. Must run before the instrumented work: the sites
+ * check the enabled flags at entry.
+ */
+void
+enableObservability(const Options &opts)
+{
+    if (opts.has("trace")) {
+        trace::Tracer::instance().clear();
+        trace::Tracer::setEnabled(true);
+    }
+    if (opts.has("metrics")) {
+        metrics::Registry::global().clear();
+        metrics::Registry::setEnabled(true);
+    }
+}
+
+/** Export whatever enableObservability turned on. */
+void
+writeObservability(const Options &opts)
+{
+    if (opts.has("trace")) {
+        trace::Tracer::setEnabled(false);
+        const std::string path = opts.str("trace");
+        std::ofstream out(path);
+        if (!out)
+            fatal("cannot write '", path, "'");
+        const std::string fmt = opts.str("trace-format", "chrome");
+        if (fmt == "chrome")
+            trace::Tracer::instance().exportChrome(out);
+        else if (fmt == "csv")
+            trace::Tracer::instance().exportCsv(out);
+        else
+            fatal("unknown --trace-format '", fmt,
+                  "' (expected chrome or csv)");
+        std::cout << "trace (" << fmt << ") written to " << path
+                  << "\n";
+    }
+    if (opts.has("metrics")) {
+        metrics::Registry::setEnabled(false);
+        const std::string path = opts.str("metrics");
+        std::ofstream out(path);
+        if (!out)
+            fatal("cannot write '", path, "'");
+        metrics::Registry::global().exportJson(out);
+        out << "\n";
+        std::cout << "metrics written to " << path << "\n";
+    }
 }
 
 TaskFlowGraph
@@ -161,6 +220,8 @@ cmdCompile(const Options &opts)
     const TaskAllocation alloc =
         makeAllocation(opts, g, *topo, tm, period);
 
+    enableObservability(opts);
+
     SrCompilerConfig cfg;
     cfg.inputPeriod = period;
     cfg.feedbackRounds = static_cast<int>(opts.num("feedback", 0));
@@ -174,11 +235,19 @@ cmdCompile(const Options &opts)
         std::cout << "infeasible at period " << period << " us: "
                   << r.detail << " (stage "
                   << srFailureStageName(r.stage) << ")\n";
+        writeObservability(opts);
         return 1;
     }
 
     const SrExecutionResult ex =
         executeSchedule(g, alloc, tm, r.bounds, r.omega, 30);
+
+    // Tracing a compile also runs the CP-level simulation so the
+    // trace carries link-occupancy and crossbar-command tracks, not
+    // just compiler phases.
+    if (opts.has("trace") || opts.has("metrics"))
+        simulateCps(g, *topo, alloc, tm, r.bounds, r.omega);
+
     std::cout << "feasible: " << r.bounds.messages.size()
               << " network messages, peak U = "
               << r.utilization.peak << ", " << r.numSubsets
@@ -211,6 +280,7 @@ cmdCompile(const Options &opts)
             if (!ns.commands.empty())
                 printNodeSchedule(std::cout, ns, g);
     }
+    writeObservability(opts);
     return 0;
 }
 
@@ -229,6 +299,8 @@ cmdSimulate(const Options &opts)
     const TaskAllocation alloc =
         makeAllocation(opts, g, *topo, tm, period);
 
+    enableObservability(opts);
+
     WormholeSimulator sim(g, *topo, alloc, tm);
     WormholeConfig cfg;
     cfg.inputPeriod = period;
@@ -236,6 +308,7 @@ cmdSimulate(const Options &opts)
         static_cast<int>(opts.num("invocations", 60));
     cfg.virtualChannels = static_cast<int>(opts.num("vc", 1));
     const WormholeResult r = sim.run(cfg);
+    writeObservability(opts);
 
     if (r.deadlocked) {
         std::cout << "wormhole routing DEADLOCKED: "
@@ -271,7 +344,10 @@ main(int argc, char **argv)
         if (arg.rfind("--", 0) != 0)
             return usage();
         arg = arg.substr(2);
-        if (arg == "node-schedules") {
+        const std::size_t eq = arg.find('=');
+        if (eq != std::string::npos) {
+            opts.kv[arg.substr(0, eq)] = arg.substr(eq + 1);
+        } else if (arg == "node-schedules") {
             opts.kv[arg] = "1";
         } else if (i + 1 < argc) {
             opts.kv[arg] = argv[++i];
