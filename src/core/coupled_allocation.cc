@@ -53,8 +53,13 @@ coupleAllocationWithPaths(const TaskFlowGraph &g,
                           Rng &rng,
                           const CoupledAllocationOptions &opts)
 {
-    if (!seedAllocation.complete())
-        fatal("coupled allocation needs a complete seed");
+    if (!seedAllocation.complete()) {
+        CoupledAllocationResult bad{seedAllocation, 0.0, 0};
+        bad.ok = false;
+        bad.error = "coupled allocation needs a complete seed "
+                    "allocation";
+        return bad;
+    }
 
     const int num_tasks = g.numTasks();
     const int num_nodes = topo.numNodes();

@@ -20,6 +20,8 @@
 #ifndef SRSIM_CORE_COUPLED_ALLOCATION_HH_
 #define SRSIM_CORE_COUPLED_ALLOCATION_HH_
 
+#include <string>
+
 #include "core/path_assignment.hh"
 #include "mapping/allocation.hh"
 #include "tfg/tfg.hh"
@@ -58,6 +60,10 @@ struct CoupledAllocationResult
     double peakUtilization = 0.0;
     /** Annealing moves accepted. */
     int accepted = 0;
+    /** False when the search could not run (e.g. incomplete seed). */
+    bool ok = true;
+    /** Human-readable failure description (empty when ok). */
+    std::string error;
 };
 
 /**

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <sstream>
 
 #include "solver/lp.hh"
 #include "util/logging.hh"
@@ -39,12 +40,14 @@ guardedCapacity(const IntervalSet &ivs, const PathAssignment &pa,
 
 /**
  * LP allocation of one maximal subset. Returns false on
- * infeasibility (Z > 1 or LP failure).
+ * infeasibility (Z > 1 or LP failure); `status` and `error` then
+ * say which of the two it was.
  */
 bool
 allocateSubsetLp(const TimeBounds &bounds, const IntervalSet &ivs,
                  const PathAssignment &pa, const MessageSubset &sub,
-                 Time guard, Matrix<Time> &P, double &peakLoad)
+                 Time guard, Matrix<Time> &P, double &peakLoad,
+                 lp::Status &status, std::string &error)
 {
     lp::Problem prob;
 
@@ -104,12 +107,19 @@ allocateSubsetLp(const TimeBounds &bounds, const IntervalSet &ivs,
     }
 
     const lp::Solution sol = lp::solve(prob);
-    if (!sol.feasible())
+    if (!sol.feasible()) {
+        status = sol.status;
+        error = std::string("subset LP ") + lp::statusName(status);
         return false;
+    }
     const double zval = sol.values[z];
     peakLoad = std::max(peakLoad, zval);
-    if (zval > 1.0 + 1e-6)
+    if (zval > 1.0 + 1e-6) {
+        std::ostringstream oss;
+        oss << "peak load Z = " << zval << " exceeds capacity";
+        error = oss.str();
         return false;
+    }
 
     for (const auto &[key, v] : var) {
         const auto &[h, k] = key;
@@ -127,7 +137,8 @@ bool
 allocateSubsetGreedy(const TimeBounds &bounds, const IntervalSet &ivs,
                      const PathAssignment &pa,
                      const MessageSubset &sub, Time guard,
-                     Matrix<Time> &P, double &peakLoad)
+                     Matrix<Time> &P, double &peakLoad,
+                     std::string &error)
 {
     // Residual capacity per (link, interval), guard-reserved.
     std::map<std::pair<LinkId, std::size_t>, Time> residual;
@@ -161,8 +172,13 @@ allocateSubsetGreedy(const TimeBounds &bounds, const IntervalSet &ivs,
                 residual.at({l, k}) -= take;
             remaining -= take;
         }
-        if (timeGt(remaining, 0.0))
+        if (timeGt(remaining, 0.0)) {
+            std::ostringstream oss;
+            oss << "greedy allocation left message " << h
+                << " short by " << remaining << " us";
+            error = oss.str();
             return false;
+        }
     }
 
     for (LinkId l : sub.links) {
@@ -257,6 +273,8 @@ struct SubsetAllocResult
 {
     bool ok = false;
     double peakLoad = 0.0;
+    lp::Status status = lp::Status::Optimal;
+    std::string error;
     /** Cells (message row, interval, value) this subset wrote. */
     std::vector<std::tuple<std::size_t, std::size_t, Time>> cells;
 };
@@ -291,10 +309,11 @@ allocateMessageIntervals(const TimeBounds &bounds,
                 method == AllocationMethod::Lp
                     ? allocateSubsetLp(bounds, intervals, pa,
                                        subsets[s], guardTime, local,
-                                       r.peakLoad)
+                                       r.peakLoad, r.status, r.error)
                     : allocateSubsetGreedy(bounds, intervals, pa,
                                            subsets[s], guardTime,
-                                           local, r.peakLoad);
+                                           local, r.peakLoad,
+                                           r.error);
             if (r.ok && packetTime > 0.0) {
                 for (std::size_t h : subsets[s].members) {
                     quantizeRow(local, h, intervals,
@@ -317,6 +336,8 @@ allocateMessageIntervals(const TimeBounds &bounds,
         if (!results[s].ok) {
             out.feasible = false;
             out.failedSubset = static_cast<int>(s);
+            out.solveStatus = results[s].status;
+            out.error = results[s].error;
             return out;
         }
     }

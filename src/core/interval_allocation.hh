@@ -18,12 +18,14 @@
 #ifndef SRSIM_CORE_INTERVAL_ALLOCATION_HH_
 #define SRSIM_CORE_INTERVAL_ALLOCATION_HH_
 
+#include <string>
 #include <vector>
 
 #include "core/intervals.hh"
 #include "core/path_assignment.hh"
 #include "core/subsets.hh"
 #include "core/time_bounds.hh"
+#include "solver/lp.hh"
 #include "util/matrix.hh"
 
 namespace srsim {
@@ -42,6 +44,16 @@ struct IntervalAllocation
     Matrix<Time> allocation;
     /** Index of the subset that failed, or -1. */
     int failedSubset = -1;
+    /**
+     * Solver verdict behind a failure: Infeasible when the subset LP
+     * proved the subset over-committed, NumericalFailure /
+     * IterationLimit when the solver gave up without a verdict,
+     * Optimal otherwise (including Z > 1, where the LP solved fine
+     * but the load simply does not fit, and any greedy failure).
+     */
+    lp::Status solveStatus = lp::Status::Optimal;
+    /** Human-readable failure description (empty when feasible). */
+    std::string error;
 };
 
 /** Allocation strategy selector (LP is the paper's formulation). */

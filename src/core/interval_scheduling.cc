@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 
 #include "solver/lp.hh"
 #include "util/logging.hh"
@@ -131,10 +132,6 @@ struct IntervalWork
     std::vector<Time> demand;
 };
 
-/**
- * LP scheduling of one interval. Appends segments on success.
- * @return makespan used, or a negative value on LP failure.
- */
 /** Round t up to a whole number of packet times (0 = identity). */
 Time
 packetCeil(Time t, Time packet)
@@ -145,16 +142,34 @@ packetCeil(Time t, Time packet)
     return q * packet;
 }
 
-double
+/** Outcome of one interval's schedule synthesis. */
+struct SlotSchedule
+{
+    bool ok = false;
+    /** Makespan consumed (meaningful when ok). */
+    double used = 0.0;
+    lp::Status status = lp::Status::Optimal;
+    /** Offending message index (into bounds), or SIZE_MAX. */
+    std::size_t messageIndex = SIZE_MAX;
+    std::string error;
+};
+
+/** LP scheduling of one interval. Appends segments on success. */
+SlotSchedule
 scheduleLp(const IntervalWork &work, const PathAssignment &pa,
            const TimeWindow &iv, std::size_t maxSets, Time guard,
            Time packet, bool exact_mip,
            std::vector<std::vector<TimeWindow>> &segments)
 {
+    SlotSchedule res;
     const auto sets =
         maximalLinkFeasibleSets(work.members, pa, maxSets);
-    SRSIM_ASSERT(!sets.empty(), "no feasible sets for a non-empty "
-                                "interval");
+    if (sets.empty()) {
+        res.messageIndex = work.members.front();
+        res.error = "feasible-set enumeration produced no sets "
+                    "for a non-empty interval";
+        return res;
+    }
 
     // In exact-packet mode the decision variables are *packet
     // counts* per slot (the paper's integer program); otherwise
@@ -178,7 +193,18 @@ scheduleLp(const IntervalWork &work, const PathAssignment &pa,
                           work.members[i]) != sets[j].end())
                 c.terms.emplace_back(y[j], 1.0);
         }
-        SRSIM_ASSERT(!c.terms.empty(), "message in no feasible set");
+        if (c.terms.empty()) {
+            // Cap truncation can drop every set containing a
+            // message; the covering LP would be vacuously wrong.
+            std::ostringstream oss;
+            oss << "message " << work.members[i]
+                << " appears in no enumerated link-feasible set "
+                   "(enumeration capped at "
+                << maxSets << ")";
+            res.messageIndex = work.members[i];
+            res.error = oss.str();
+            return res;
+        }
         c.rel = lp::Relation::GreaterEq;
         c.rhs = work.demand[i] / unit;
         prob.addConstraint(std::move(c));
@@ -195,8 +221,12 @@ scheduleLp(const IntervalWork &work, const PathAssignment &pa,
         sol = lp::solve(relax);
     }
     if (!sol.feasible() &&
-        sol.status != lp::Status::IterationLimit)
-        return -1.0;
+        sol.status != lp::Status::IterationLimit) {
+        res.status = sol.status;
+        res.error = std::string("interval covering LP ") +
+                    lp::statusName(sol.status);
+        return res;
+    }
 
     // Synthesize the timeline: slots in set order; a message
     // transmits in a slot only while it still has remaining demand.
@@ -230,11 +260,21 @@ scheduleLp(const IntervalWork &work, const PathAssignment &pa,
     }
 
     for (std::size_t i = 0; i < work.members.size(); ++i) {
-        SRSIM_ASSERT(timeLe(remaining[i], 0.0),
-                     "LP coverage left message ", work.members[i],
-                     " short by ", remaining[i]);
+        if (!timeLe(remaining[i], 0.0)) {
+            // The LP claimed coverage but the synthesized timeline
+            // fell short: a numerical artifact, not infeasibility.
+            std::ostringstream oss;
+            oss << "LP coverage left message " << work.members[i]
+                << " short by " << remaining[i] << " us";
+            res.status = lp::Status::NumericalFailure;
+            res.messageIndex = work.members[i];
+            res.error = oss.str();
+            return res;
+        }
     }
-    return cursor - iv.start;
+    res.ok = true;
+    res.used = cursor - iv.start;
+    return res;
 }
 
 /**
@@ -348,8 +388,7 @@ scheduleIntervals(const TimeBounds &bounds,
 
     struct ItemResult
     {
-        bool lpFailed = false;
-        double used = 0.0;
+        SlotSchedule slot;
         std::vector<std::vector<TimeWindow>> segments;
     };
     std::vector<ItemResult> results(items.size());
@@ -360,16 +399,17 @@ scheduleIntervals(const TimeBounds &bounds,
             r.segments.assign(bounds.messages.size(), {});
             const TimeWindow &iv = intervals.interval(it.k);
             if (opts.method == SchedulingMethod::LpFeasibleSets) {
-                r.used = scheduleLp(it.work, pa, iv,
+                r.slot = scheduleLp(it.work, pa, iv,
                                     opts.maxFeasibleSets,
                                     opts.guardTime, opts.packetTime,
                                     opts.exactPacketMip,
                                     r.segments);
-                r.lpFailed = r.used < 0.0;
             } else {
-                r.used = scheduleGreedy(it.work, pa, iv,
-                                        opts.guardTime,
-                                        opts.packetTime, r.segments);
+                r.slot.ok = true;
+                r.slot.used = scheduleGreedy(it.work, pa, iv,
+                                             opts.guardTime,
+                                             opts.packetTime,
+                                             r.segments);
             }
         });
 
@@ -381,18 +421,27 @@ scheduleIntervals(const TimeBounds &bounds,
                                    r.segments[h].begin(),
                                    r.segments[h].end());
         }
-        if (r.lpFailed) {
+        if (!r.slot.ok) {
             out.feasible = false;
             out.failedSubset = static_cast<int>(it.s);
             out.failedInterval = static_cast<int>(it.k);
+            out.solveStatus = r.slot.status;
+            if (r.slot.messageIndex != SIZE_MAX)
+                out.failedMessage =
+                    bounds.messages[r.slot.messageIndex].msg;
+            out.error = r.slot.error;
             return out;
         }
         const TimeWindow &iv = intervals.interval(it.k);
-        if (timeGt(r.used, iv.length())) {
+        if (timeGt(r.slot.used, iv.length())) {
             out.feasible = false;
             out.failedSubset = static_cast<int>(it.s);
             out.failedInterval = static_cast<int>(it.k);
-            out.overrun = r.used - iv.length();
+            out.overrun = r.slot.used - iv.length();
+            std::ostringstream oss;
+            oss << "interval demand exceeds capacity by "
+                << out.overrun << " us";
+            out.error = oss.str();
             return out;
         }
     }

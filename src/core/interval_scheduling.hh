@@ -26,6 +26,7 @@
 #ifndef SRSIM_CORE_INTERVAL_SCHEDULING_HH_
 #define SRSIM_CORE_INTERVAL_SCHEDULING_HH_
 
+#include <string>
 #include <vector>
 
 #include "core/interval_allocation.hh"
@@ -33,6 +34,8 @@
 #include "core/path_assignment.hh"
 #include "core/subsets.hh"
 #include "core/time_bounds.hh"
+#include "solver/lp.hh"
+#include "tfg/tfg.hh"
 #include "util/time.hh"
 
 namespace srsim {
@@ -55,6 +58,17 @@ struct IntervalScheduleResult
     int failedSubset = -1;
     /** Demand minus capacity of the failing interval (if any). */
     double overrun = 0.0;
+    /**
+     * Solver verdict behind a failure: NumericalFailure /
+     * IterationLimit when the covering LP gave up without a verdict,
+     * Infeasible when it proved the interval over-committed,
+     * Optimal otherwise (including a plain capacity overrun).
+     */
+    lp::Status solveStatus = lp::Status::Optimal;
+    /** Offending message on a per-message failure, or invalid. */
+    MessageId failedMessage = kInvalidMessage;
+    /** Human-readable failure description (empty when feasible). */
+    std::string error;
 };
 
 /** Knobs for the interval scheduler. */

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <set>
+#include <string>
 
 #include "util/logging.hh"
 #include "util/rng.hh"
@@ -125,7 +126,11 @@ UtilizationAnalyzer::analyze(const PathAssignment &pa) const
 
 namespace {
 
-/** Candidate minimal paths for every network message. */
+/**
+ * Candidate minimal paths for every network message. A message with
+ * no path at all (disconnected fabric) gets an empty candidate list;
+ * the caller turns that into a structured failure.
+ */
 std::vector<std::vector<Path>>
 candidatePaths(const TaskFlowGraph &g, const Topology &topo,
                const TaskAllocation &alloc, const TimeBounds &bounds,
@@ -137,10 +142,7 @@ candidatePaths(const TaskFlowGraph &g, const Topology &topo,
         const Message &m = g.message(b.msg);
         const NodeId s = alloc.nodeOf(m.src);
         const NodeId d = alloc.nodeOf(m.dst);
-        auto paths = topo.minimalPaths(s, d, maxPaths);
-        SRSIM_ASSERT(!paths.empty(), "no path between ", s, " and ",
-                     d);
-        out.push_back(std::move(paths));
+        out.push_back(topo.minimalPaths(s, d, maxPaths));
     }
     return out;
 }
@@ -290,6 +292,20 @@ assignPaths(const TaskFlowGraph &g, const Topology &topo,
 {
     const auto candidates = candidatePaths(g, topo, alloc, bounds,
                                            opts.maxPathsPerMessage);
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+        if (candidates[i].empty()) {
+            const Message &m = g.message(bounds.messages[i].msg);
+            AssignPathsResult bad;
+            bad.ok = false;
+            bad.failedMessage = m.id;
+            bad.error = "no path between node " +
+                        std::to_string(alloc.nodeOf(m.src)) +
+                        " and node " +
+                        std::to_string(alloc.nodeOf(m.dst)) +
+                        " for message '" + m.name + "'";
+            return bad;
+        }
+    }
 
     // Outer loop of Fig. 4, restructured for parallelism: restart
     // walks are *independent* (walk r draws its random start from

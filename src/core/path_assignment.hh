@@ -23,6 +23,7 @@
 #define SRSIM_CORE_PATH_ASSIGNMENT_HH_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/intervals.hh"
@@ -147,6 +148,14 @@ struct AssignPathsResult
     UtilizationReport report;
     int restarts = 0;
     int reroutes = 0;
+    /**
+     * False when no candidate path exists for some message (e.g. a
+     * disconnected fabric); the assignment is then unusable and
+     * `error` / `failedMessage` describe the offender.
+     */
+    bool ok = true;
+    MessageId failedMessage = kInvalidMessage;
+    std::string error;
 };
 
 /**

@@ -14,15 +14,41 @@ srFailureStageName(SrFailureStage s)
 {
     switch (s) {
       case SrFailureStage::None: return "none";
+      case SrFailureStage::InvalidInput: return "invalid-input";
       case SrFailureStage::Utilization: return "utilization";
       case SrFailureStage::Allocation: return "allocation";
       case SrFailureStage::Scheduling: return "scheduling";
+      case SrFailureStage::Numerical: return "numerical";
       case SrFailureStage::Verification: return "verification";
     }
     return "unknown";
 }
 
 namespace {
+
+/** Record a failure on `res` in both legacy and structured form. */
+void
+fail(SrCompileResult &res, SrFailureStage stage, std::string detail,
+     lp::Status solver = lp::Status::Optimal, int subset = -1,
+     int interval = -1, MessageId msg = kInvalidMessage)
+{
+    res.stage = stage;
+    res.detail = detail;
+    res.error.stage = stage;
+    res.error.solverStatus = solver;
+    res.error.subset = subset;
+    res.error.interval = interval;
+    res.error.message = msg;
+    res.error.detail = std::move(detail);
+}
+
+/** Did the solver give up without a verdict? */
+bool
+gaveUp(lp::Status s)
+{
+    return s == lp::Status::NumericalFailure ||
+           s == lp::Status::IterationLimit;
+}
 
 /**
  * One pass of the Fig. 3 pipeline downstream of the time bounds:
@@ -44,6 +70,11 @@ attemptCompile(const TaskFlowGraph &g, const Topology &topo,
         AssignPathsResult ap = assignPaths(g, topo, alloc,
                                            res.bounds, ivs,
                                            assign_opts);
+        if (!ap.ok) {
+            fail(res, SrFailureStage::InvalidInput, ap.error,
+                 lp::Status::Optimal, -1, -1, ap.failedMessage);
+            return false;
+        }
         res.paths = std::move(ap.assignment);
         res.utilization = ap.report;
         res.assignRestarts = ap.restarts;
@@ -57,11 +88,10 @@ attemptCompile(const TaskFlowGraph &g, const Topology &topo,
 
     // Gate: U <= 1 is necessary for any feasible Omega.
     if (res.utilization.peak > 1.0 + 1e-9) {
-        res.stage = SrFailureStage::Utilization;
         std::ostringstream oss;
         oss << "peak utilization " << res.utilization.peak
             << " exceeds link capacity";
-        res.detail = oss.str();
+        fail(res, SrFailureStage::Utilization, oss.str());
         return false;
     }
 
@@ -79,11 +109,17 @@ attemptCompile(const TaskFlowGraph &g, const Topology &topo,
             cfg.scheduling.guardTime, cfg.scheduling.packetTime);
     }
     if (!res.allocation.feasible) {
-        res.stage = SrFailureStage::Allocation;
         std::ostringstream oss;
         oss << "message-interval allocation failed on subset "
             << res.allocation.failedSubset;
-        res.detail = oss.str();
+        if (!res.allocation.error.empty())
+            oss << ": " << res.allocation.error;
+        fail(res,
+             gaveUp(res.allocation.solveStatus)
+                 ? SrFailureStage::Numerical
+                 : SrFailureStage::Allocation,
+             oss.str(), res.allocation.solveStatus,
+             res.allocation.failedSubset);
         return false;
     }
 
@@ -95,18 +131,27 @@ attemptCompile(const TaskFlowGraph &g, const Topology &topo,
                                          cfg.scheduling);
     }
     if (!res.schedule.feasible) {
-        res.stage = SrFailureStage::Scheduling;
         std::ostringstream oss;
         oss << "interval " << res.schedule.failedInterval
             << " of subset " << res.schedule.failedSubset
             << " unschedulable (overrun "
             << res.schedule.overrun << " us)";
-        res.detail = oss.str();
+        if (!res.schedule.error.empty())
+            oss << ": " << res.schedule.error;
+        fail(res,
+             gaveUp(res.schedule.solveStatus)
+                 ? SrFailureStage::Numerical
+                 : SrFailureStage::Scheduling,
+             oss.str(), res.schedule.solveStatus,
+             res.schedule.failedSubset,
+             res.schedule.failedInterval,
+             res.schedule.failedMessage);
         return false;
     }
 
     res.stage = SrFailureStage::None;
     res.detail.clear();
+    res.error = CompileError{};
     return true;
 }
 
@@ -120,10 +165,55 @@ compileScheduledRouting(const TaskFlowGraph &g, const Topology &topo,
 {
     SrCompileResult res;
 
-    // Sec. 4: message time bounds in the folded frame.
-    {
+    // Input validation up front: a compile must degrade into a
+    // structured InvalidInput result, never abort the process, no
+    // matter what problem the caller hands it.
+    if (tm.apSpeed <= 0.0 || tm.bandwidth <= 0.0) {
+        fail(res, SrFailureStage::InvalidInput,
+             "timing model needs positive apSpeed and bandwidth");
+        return res;
+    }
+    if (cfg.inputPeriod <= 0.0) {
+        fail(res, SrFailureStage::InvalidInput,
+             "input period must be positive");
+        return res;
+    }
+    if (alloc.numTasks() != g.numTasks() || !alloc.complete()) {
+        fail(res, SrFailureStage::InvalidInput,
+             "task allocation is incomplete or sized for a "
+             "different TFG");
+        return res;
+    }
+    for (TaskId t = 0; t < g.numTasks(); ++t) {
+        const NodeId n = alloc.nodeOf(t);
+        if (n < 0 || n >= topo.numNodes()) {
+            std::ostringstream oss;
+            oss << "task " << t << " allocated to node " << n
+                << " outside the " << topo.numNodes()
+                << "-node fabric";
+            fail(res, SrFailureStage::InvalidInput, oss.str());
+            return res;
+        }
+    }
+    const Time tau_c = tm.tauC(g);
+    if (timeLt(cfg.inputPeriod, tau_c)) {
+        std::ostringstream oss;
+        oss << "input period " << cfg.inputPeriod
+            << " is below tau_c " << tau_c
+            << "; the pipeline cannot keep up";
+        fail(res, SrFailureStage::InvalidInput, oss.str());
+        return res;
+    }
+    // Sec. 4: message time bounds in the folded frame. The bounds
+    // computation rejects messages whose transfer time cannot fit
+    // their tau_c window (the tau_m <= tau_c premise); surface that
+    // as a structured InvalidInput instead of aborting.
+    try {
         trace::ScopedPhase phase("time_bounds");
         res.bounds = computeTimeBounds(g, alloc, tm, cfg.inputPeriod);
+    } catch (const FatalError &e) {
+        fail(res, SrFailureStage::InvalidInput, e.what());
+        return res;
     }
 
     // Degenerate but legal: everything co-located.
@@ -144,10 +234,14 @@ compileScheduledRouting(const TaskFlowGraph &g, const Topology &topo,
         for (const MessageBounds &b : res.bounds.messages) {
             const double q = b.duration / eff.scheduling.packetTime;
             if (std::abs(q - std::round(q)) > 1e-6) {
-                fatal("message duration ", b.duration,
-                      " us is not a whole number of packets; set "
-                      "TimingModel::packetBytes to round message "
-                      "times to the packet grid");
+                std::ostringstream oss;
+                oss << "message duration " << b.duration
+                    << " us is not a whole number of packets; set "
+                       "TimingModel::packetBytes to round message "
+                       "times to the packet grid";
+                fail(res, SrFailureStage::InvalidInput, oss.str(),
+                     lp::Status::Optimal, -1, -1, b.msg);
+                return res;
             }
         }
     }
@@ -205,10 +299,10 @@ compileScheduledRouting(const TaskFlowGraph &g, const Topology &topo,
         res.verification = verifySchedule(g, topo, alloc, res.bounds,
                                           res.omega);
         if (!res.verification.ok) {
-            res.stage = SrFailureStage::Verification;
-            res.detail = res.verification.violations.empty()
-                             ? "verifier rejected schedule"
-                             : res.verification.violations.front();
+            fail(res, SrFailureStage::Verification,
+                 res.verification.violations.empty()
+                     ? "verifier rejected schedule"
+                     : res.verification.violations.front());
             if (SRSIM_METRICS_ENABLED())
                 metrics::Registry::global()
                     .counter("sr.failures.verification")

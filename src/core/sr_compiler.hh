@@ -35,6 +35,7 @@
 #include "core/time_bounds.hh"
 #include "core/verifier.hh"
 #include "mapping/allocation.hh"
+#include "solver/lp.hh"
 #include "tfg/tfg.hh"
 #include "tfg/timing.hh"
 #include "topology/topology.hh"
@@ -45,14 +46,41 @@ namespace srsim {
 enum class SrFailureStage
 {
     None,          ///< feasible schedule produced
+    InvalidInput,  ///< malformed problem (bad period, allocation...)
     Utilization,   ///< peak utilization exceeds one
     Allocation,    ///< message-interval allocation infeasible
     Scheduling,    ///< an interval is unschedulable
+    Numerical,     ///< a solver gave up numerically, not provably
     Verification,  ///< internal: verifier rejected the schedule
 };
 
 /** @return human-readable stage name. */
 const char *srFailureStageName(SrFailureStage s);
+
+/**
+ * Structured description of a compilation failure.
+ *
+ * Every infeasible (or error) compile carries one of these instead
+ * of panicking: the stage that failed, the solver verdict behind it
+ * (when a mathematical program was involved), and the most specific
+ * problem coordinates known — subset, interval, and message id.
+ */
+struct CompileError
+{
+    SrFailureStage stage = SrFailureStage::None;
+    /** Solver verdict behind the failure (Optimal = no LP involved). */
+    lp::Status solverStatus = lp::Status::Optimal;
+    /** Failing maximal subset, or -1. */
+    int subset = -1;
+    /** Failing interval, or -1. */
+    int interval = -1;
+    /** Offending message, or kInvalidMessage. */
+    MessageId message = kInvalidMessage;
+    /** Human-readable description. */
+    std::string detail;
+
+    bool any() const { return stage != SrFailureStage::None; }
+};
 
 /** Compiler configuration. */
 struct SrCompilerConfig
@@ -82,6 +110,8 @@ struct SrCompileResult
     bool feasible = false;
     SrFailureStage stage = SrFailureStage::None;
     std::string detail;
+    /** Structured failure description (stage == error.stage). */
+    CompileError error;
 
     TimeBounds bounds;
     std::optional<IntervalSet> intervals;
@@ -101,9 +131,11 @@ struct SrCompileResult
 /**
  * Compile a scheduled-routing communication schedule.
  *
- * Fatal on invalid inputs (incomplete allocation, period below
- * tau_c); returns an infeasible result with the failing stage when
- * the network cannot meet the communication requirements.
+ * Never aborts on user input: invalid problems (incomplete
+ * allocation, period below tau_c, off-grid message times) come back
+ * as stage InvalidInput, solver breakdowns as stage Numerical, and
+ * ordinary infeasibility with the stage that proved it — always
+ * with a populated CompileError.
  */
 SrCompileResult
 compileScheduledRouting(const TaskFlowGraph &g, const Topology &topo,

@@ -128,6 +128,31 @@ executeSchedule(const TaskFlowGraph &g, const TaskAllocation &alloc,
                                 start[ti], finish[ti] - start[ti]);
         }
 
+        // The analytic model gives every task its own AP: it never
+        // serializes two different tasks sharing a node. Detect the
+        // out-of-premise case instead of silently returning times a
+        // real machine could not achieve.
+        for (TaskId a = 0; a < g.numTasks(); ++a) {
+            for (TaskId b2 = a + 1; b2 < g.numTasks(); ++b2) {
+                if (alloc.nodeOf(a) != alloc.nodeOf(b2))
+                    continue;
+                const std::size_t ai = static_cast<std::size_t>(a);
+                const std::size_t bi2 = static_cast<std::size_t>(b2);
+                if (timeLt(start[ai], finish[bi2]) &&
+                    timeLt(start[bi2], finish[ai])) {
+                    res.premiseViolated = true;
+                    std::ostringstream oss;
+                    oss << "invocation " << j << ": tasks '"
+                        << g.task(a).name << "' and '"
+                        << g.task(b2).name
+                        << "' overlap on node " << alloc.nodeOf(a)
+                        << "; the analytic model assumes a "
+                           "dedicated AP per task";
+                    res.notes.push_back(oss.str());
+                }
+            }
+        }
+
         Time complete = 0.0;
         for (TaskId t : g.outputTasks())
             complete = std::max(

@@ -420,13 +420,19 @@ struct CpSimState
         if (!ev.last)
             return;
 
-        // Byte conservation at delivery.
-        if (std::abs(bytesDone[mi] - m.bytes) >
+        // Byte conservation at delivery. The schedule transfers the
+        // *quantized* message (packet mode rounds the duration up to
+        // whole packets, padding the payload), so the scheduled
+        // bytes are duration * bandwidth, not the raw payload size.
+        const double scheduledBytes =
+            bounds.messages[ev.msgIdx].duration * tm.bandwidth;
+        if (std::abs(bytesDone[mi] - scheduledBytes) >
             tm.bandwidth * kTimeEps * 10.0 + 1e-6) {
             std::ostringstream oss;
             oss << "message '" << m.name << "'@inv"
                 << ev.invocation << " delivered "
-                << bytesDone[mi] << " of " << m.bytes << " bytes";
+                << bytesDone[mi] << " of " << scheduledBytes
+                << " scheduled bytes (" << m.bytes << " payload)";
             violation("short-delivery msg " +
                           std::to_string(ev.msgIdx),
                       oss.str());

@@ -1,0 +1,150 @@
+#include "fuzz/generator.hh"
+
+#include <algorithm>
+#include <string>
+
+#include <vector>
+#include "tfg/random_tfg.hh"
+#include "topology/factory.hh"
+#include "util/rng.hh"
+
+namespace srsim {
+namespace fuzz {
+
+namespace {
+
+/** Random fabric spec with at most 64 nodes. */
+std::string
+randomTopoSpec(Rng &rng)
+{
+    switch (rng.uniformInt(0, 3)) {
+      case 0: // binary cube, 4..64 nodes
+        return "cube:" + std::to_string(rng.uniformInt(2, 6));
+      case 1: { // GHC, 2-3 dims, radix 2..4
+        const int dims = rng.uniformInt(2, 3);
+        std::string spec = "ghc:";
+        int nodes = 1;
+        for (int d = 0; d < dims; ++d) {
+            int r = rng.uniformInt(2, 4);
+            while (nodes * r > 64)
+                --r;
+            r = std::max(r, 2);
+            nodes *= r;
+            spec += (d ? "," : "") + std::to_string(r);
+        }
+        return spec;
+      }
+      case 2: { // torus, 1-3 dims, radix 2..8
+        const int dims = rng.uniformInt(1, 3);
+        std::string spec = "torus:";
+        int nodes = 1;
+        for (int d = 0; d < dims; ++d) {
+            int r = rng.uniformInt(2, 8);
+            while (nodes * r > 64)
+                --r;
+            r = std::max(r, 2);
+            nodes *= r;
+            spec += (d ? "," : "") + std::to_string(r);
+        }
+        return spec;
+      }
+      default: { // mesh, 2 dims, radix 2..6
+        const int a = rng.uniformInt(2, 6);
+        const int b = rng.uniformInt(2, 6);
+        return "mesh:" + std::to_string(a) + "," +
+               std::to_string(b);
+      }
+    }
+}
+
+} // namespace
+
+FuzzCase
+generateCase(std::uint64_t seed)
+{
+    Rng rng(deriveSeed(0x5EEDF00Dull, seed));
+    FuzzCase c;
+    c.seed = seed;
+
+    RandomTfgParams p;
+    p.layers = rng.uniformInt(2, 6);
+    p.minWidth = 1;
+    p.maxWidth = rng.uniformInt(1, 4);
+    p.edgeProbability = rng.uniformReal(0.3, 0.95);
+    p.skipProbability = rng.uniformReal(0.0, 0.3);
+    p.minOps = 50.0;
+    p.maxOps = 2000.0;
+    p.minBytes = 32.0;
+    p.maxBytes = 4096.0;
+    c.g = buildRandomTfg(p, rng);
+
+    // The fabric must have a node per task (see Placement below).
+    // Re-draw a few times, then fall back to a cube that fits; the
+    // random TFG has at most 24 tasks and cube:5 has 32 nodes.
+    for (int attempt = 0;; ++attempt) {
+        c.topoSpec = randomTopoSpec(rng);
+        if (makeTopology(c.topoSpec)->numNodes() >= c.g.numTasks())
+            break;
+        if (attempt >= 15) {
+            c.topoSpec = "cube:5";
+            break;
+        }
+    }
+    const auto topo = makeTopology(c.topoSpec);
+
+    // Pick bandwidth, then derive an AP speed from the drawn graph:
+    //   apSpeed = f * maxOps * bandwidth / maxBytes
+    // gives tau_m <= tau_c exactly when f <= 1 (see
+    // tests/test_property_compile.cc for the algebra). With small
+    // probability pick f > 1 on purpose: the compiler must reject
+    // tau_m > tau_c as structured InvalidInput, not crash.
+    const double bws[] = {32.0, 64.0, 128.0};
+    c.tm.bandwidth = bws[rng.index(3)];
+    const double f = rng.chance(0.05)
+                         ? rng.uniformReal(1.05, 1.5)
+                         : rng.uniformReal(0.3, 1.0);
+    c.tm.apSpeed = f * c.g.maxOperations() * c.tm.bandwidth /
+                   c.g.maxBytes();
+
+    // Packet quantization: off most of the time; when on, message
+    // times round themselves to the packet grid inside TimingModel.
+    if (rng.chance(0.25))
+        c.tm.packetBytes = rng.chance(0.5) ? 16.0 : 32.0;
+
+    // Placement: injective, at most one task per node. The three
+    // oracles only agree under the paper's dedicated-AP premise:
+    // cpsim serializes co-located tasks through the node's single
+    // AP, while the analytic executor refuses to model that and
+    // flags the overlap as a premise violation instead.
+    std::vector<NodeId> nodes(
+        static_cast<std::size_t>(topo->numNodes()));
+    for (NodeId n = 0; n < topo->numNodes(); ++n)
+        nodes[static_cast<std::size_t>(n)] = n;
+    rng.shuffle(nodes);
+    c.taskNode.assign(nodes.begin(),
+                      nodes.begin() + c.g.numTasks());
+
+    // Load point: mostly legal (>= tau_c), occasionally below it to
+    // exercise the InvalidInput path.
+    c.inputPeriod =
+        rng.uniformReal(0.95, 3.0) * c.tm.tauC(c.g);
+
+    // Guard time: small fraction of tau_c, off most of the time.
+    if (rng.chance(0.2))
+        c.guardTime = rng.uniformReal(0.001, 0.02) * c.tm.tauC(c.g);
+
+    c.allocMethod = rng.chance(0.8) ? AllocationMethod::Lp
+                                    : AllocationMethod::Greedy;
+    c.schedMethod = rng.chance(0.85)
+                        ? SchedulingMethod::LpFeasibleSets
+                        : SchedulingMethod::ListScheduling;
+    c.exactPacketMip = c.tm.packetBytes > 0.0 && rng.chance(0.25);
+    c.useAssignPaths = rng.chance(0.85);
+    c.assignSeed = deriveSeed(seed, 1);
+    c.maxRestarts = rng.uniformInt(0, 3);
+    c.feedbackRounds = rng.uniformInt(0, 2);
+    return c;
+}
+
+} // namespace fuzz
+} // namespace srsim

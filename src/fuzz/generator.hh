@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Seed-driven random case generator for the differential fuzzer.
+ *
+ * Every case is a pure function of its seed: the same seed always
+ * yields byte-identical TFG, fabric, placement, and knobs, so a
+ * failing seed is a complete bug report. The generator deliberately
+ * strays outside the comfortable regime the unit tests cover —
+ * occasional below-tau_c periods and tau_m > tau_c graphs (which
+ * must come back as structured InvalidInput, never a crash), packet
+ * quantization, guard times, greedy/list ablation methods, and
+ * fabrics up to 64 nodes.
+ */
+
+#ifndef SRSIM_FUZZ_GENERATOR_HH_
+#define SRSIM_FUZZ_GENERATOR_HH_
+
+#include <cstdint>
+
+#include "fuzz/fuzz_case.hh"
+
+namespace srsim {
+namespace fuzz {
+
+/** Generate the case determined by `seed`. */
+FuzzCase generateCase(std::uint64_t seed);
+
+} // namespace fuzz
+} // namespace srsim
+
+#endif // SRSIM_FUZZ_GENERATOR_HH_

@@ -1,0 +1,150 @@
+#include "fuzz/shrink.hh"
+
+#include <vector>
+
+namespace srsim {
+namespace fuzz {
+
+namespace {
+
+/**
+ * Rebuild `c`'s graph keeping only the flagged tasks/messages.
+ * Task and message ids are renumbered densely; the placement
+ * follows the kept tasks.
+ */
+FuzzCase
+rebuild(const FuzzCase &c, const std::vector<bool> &keepTask,
+        const std::vector<bool> &keepMsg)
+{
+    FuzzCase out = c;
+    out.g = TaskFlowGraph{};
+    out.taskNode.clear();
+
+    std::vector<TaskId> newId(
+        static_cast<std::size_t>(c.g.numTasks()), kInvalidTask);
+    for (TaskId t = 0; t < c.g.numTasks(); ++t) {
+        if (!keepTask[static_cast<std::size_t>(t)])
+            continue;
+        const Task &task = c.g.task(t);
+        newId[static_cast<std::size_t>(t)] =
+            out.g.addTask(task.name, task.operations);
+        out.taskNode.push_back(
+            c.taskNode[static_cast<std::size_t>(t)]);
+    }
+    for (MessageId m = 0; m < c.g.numMessages(); ++m) {
+        if (!keepMsg[static_cast<std::size_t>(m)])
+            continue;
+        const Message &msg = c.g.message(m);
+        out.g.addMessage(
+            msg.name, newId[static_cast<std::size_t>(msg.src)],
+            newId[static_cast<std::size_t>(msg.dst)], msg.bytes);
+    }
+    return out;
+}
+
+} // namespace
+
+FuzzCase
+dropMessage(const FuzzCase &c, MessageId m)
+{
+    std::vector<bool> keepTask(
+        static_cast<std::size_t>(c.g.numTasks()), true);
+    std::vector<bool> keepMsg(
+        static_cast<std::size_t>(c.g.numMessages()), true);
+    keepMsg[static_cast<std::size_t>(m)] = false;
+    return rebuild(c, keepTask, keepMsg);
+}
+
+FuzzCase
+dropTask(const FuzzCase &c, TaskId t)
+{
+    std::vector<bool> keepTask(
+        static_cast<std::size_t>(c.g.numTasks()), true);
+    std::vector<bool> keepMsg(
+        static_cast<std::size_t>(c.g.numMessages()), true);
+    keepTask[static_cast<std::size_t>(t)] = false;
+    for (MessageId m = 0; m < c.g.numMessages(); ++m) {
+        const Message &msg = c.g.message(m);
+        if (msg.src == t || msg.dst == t)
+            keepMsg[static_cast<std::size_t>(m)] = false;
+    }
+    return rebuild(c, keepTask, keepMsg);
+}
+
+FuzzCase
+shrinkCase(const FuzzCase &c, const StillFails &stillFails,
+           std::size_t maxEvaluations, ShrinkStats *stats)
+{
+    ShrinkStats local;
+    ShrinkStats &st = stats ? *stats : local;
+
+    FuzzCase best = c;
+    auto tryCase = [&](const FuzzCase &cand) {
+        if (st.evaluations >= maxEvaluations)
+            return false;
+        ++st.evaluations;
+        if (!stillFails(cand))
+            return false;
+        best = cand;
+        return true;
+    };
+
+    bool changed = true;
+    while (changed && st.evaluations < maxEvaluations) {
+        changed = false;
+
+        // Pass 1: drop messages, highest id first (ids stay stable
+        // below the dropped one, so one sweep can remove several).
+        for (MessageId m = best.g.numMessages() - 1; m >= 0; --m) {
+            if (tryCase(dropMessage(best, m))) {
+                ++st.messagesRemoved;
+                changed = true;
+            }
+        }
+
+        // Pass 2: drop tasks with their incident messages.
+        for (TaskId t = best.g.numTasks() - 1; t >= 0; --t) {
+            if (best.g.numTasks() <= 1)
+                break;
+            if (tryCase(dropTask(best, t))) {
+                ++st.tasksRemoved;
+                changed = true;
+            }
+        }
+
+        // Pass 3: knob simplifications (each only if the bug
+        // survives without it).
+        auto simplify = [&](auto mutate) {
+            FuzzCase cand = best;
+            mutate(cand);
+            if (tryCase(cand)) {
+                ++st.knobsSimplified;
+                changed = true;
+            }
+        };
+        if (best.feedbackRounds > 0)
+            simplify([](FuzzCase &x) { x.feedbackRounds = 0; });
+        if (best.maxRestarts > 0)
+            simplify([](FuzzCase &x) { x.maxRestarts = 0; });
+        if (best.guardTime > 0.0)
+            simplify([](FuzzCase &x) { x.guardTime = 0.0; });
+        if (best.exactPacketMip)
+            simplify([](FuzzCase &x) { x.exactPacketMip = false; });
+        if (best.tm.packetBytes > 0.0)
+            simplify([](FuzzCase &x) { x.tm.packetBytes = 0.0; });
+        if (!best.useAssignPaths)
+            simplify([](FuzzCase &x) { x.useAssignPaths = true; });
+        if (best.allocMethod != AllocationMethod::Lp)
+            simplify([](FuzzCase &x) {
+                x.allocMethod = AllocationMethod::Lp;
+            });
+        if (best.schedMethod != SchedulingMethod::LpFeasibleSets)
+            simplify([](FuzzCase &x) {
+                x.schedMethod = SchedulingMethod::LpFeasibleSets;
+            });
+    }
+    return best;
+}
+
+} // namespace fuzz
+} // namespace srsim

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Automatic shrinking of failing fuzz cases.
+ *
+ * Given a case and a predicate "does this case still fail?", the
+ * shrinker greedily removes structure while the predicate holds:
+ * first whole messages, then whole tasks (with their incident
+ * messages), then knob simplifications (feedback off, restarts off,
+ * guard off, packet grid off, plain LP methods). Passes repeat to a
+ * fixpoint under a budget on predicate evaluations, so a corpus
+ * case is close to minimal and cheap to re-run forever.
+ */
+
+#ifndef SRSIM_FUZZ_SHRINK_HH_
+#define SRSIM_FUZZ_SHRINK_HH_
+
+#include <cstddef>
+#include <functional>
+
+#include "fuzz/fuzz_case.hh"
+
+namespace srsim {
+namespace fuzz {
+
+/** Returns true when the (candidate) case still exhibits the bug. */
+using StillFails = std::function<bool(const FuzzCase &)>;
+
+/** Statistics of one shrink run. */
+struct ShrinkStats
+{
+    std::size_t evaluations = 0;
+    int messagesRemoved = 0;
+    int tasksRemoved = 0;
+    int knobsSimplified = 0;
+};
+
+/** Copy of `c` without message `m` (ids renumbered). */
+FuzzCase dropMessage(const FuzzCase &c, MessageId m);
+
+/** Copy of `c` without task `t` and its incident messages. */
+FuzzCase dropTask(const FuzzCase &c, TaskId t);
+
+/**
+ * Shrink `c` while `stillFails` holds.
+ *
+ * @param maxEvaluations budget on predicate calls
+ * @param stats optional run statistics
+ * @return the smallest failing case found (== c when nothing
+ *         could be removed)
+ */
+FuzzCase shrinkCase(const FuzzCase &c, const StillFails &stillFails,
+                    std::size_t maxEvaluations = 400,
+                    ShrinkStats *stats = nullptr);
+
+} // namespace fuzz
+} // namespace srsim
+
+#endif // SRSIM_FUZZ_SHRINK_HH_

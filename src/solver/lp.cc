@@ -18,6 +18,7 @@ statusName(Status s)
       case Status::Infeasible: return "infeasible";
       case Status::Unbounded: return "unbounded";
       case Status::IterationLimit: return "iteration-limit";
+      case Status::NumericalFailure: return "numerical-failure";
     }
     return "unknown";
 }
@@ -94,12 +95,33 @@ class Tableau
     std::size_t basis(std::size_t r) const { return basis_[r]; }
     void setBasis(std::size_t r, std::size_t col) { basis_[r] = col; }
 
-    /** Gauss-Jordan pivot on (row, col). */
-    void
-    pivot(std::size_t row, std::size_t col)
+    /** Largest magnitude in constraint rows of column c. */
+    double
+    columnScale(std::size_t c) const
+    {
+        double s = 0.0;
+        for (std::size_t r = 0; r < m_; ++r)
+            s = std::max(s, std::abs(t_(r, c)));
+        return s;
+    }
+
+    /**
+     * Gauss-Jordan pivot on (row, col).
+     *
+     * The pivot element must exceed `tol` in magnitude — a tolerance
+     * the caller scales to the tableau's magnitude — or the pivot is
+     * refused and the tableau left untouched. A refused pivot is a
+     * recoverable numerical verdict, never a process abort: the
+     * solver's inputs are user data, not internal invariants.
+     *
+     * @return true if the pivot was applied
+     */
+    bool
+    pivot(std::size_t row, std::size_t col, double tol)
     {
         const double pv = t_(row, col);
-        SRSIM_ASSERT(std::abs(pv) > 1e-12, "degenerate pivot element");
+        if (!std::isfinite(pv) || !(std::abs(pv) > tol))
+            return false;
         const double inv = 1.0 / pv;
         for (std::size_t c = 0; c <= n_; ++c)
             t_(row, c) *= inv;
@@ -115,6 +137,20 @@ class Tableau
             t_(r, col) = 0.0;
         }
         basis_[row] = col;
+        return true;
+    }
+
+    /** @return true if every RHS and objective cell is finite. */
+    bool
+    finite() const
+    {
+        for (std::size_t r = 0; r <= m_; ++r)
+            if (!std::isfinite(t_(r, n_)))
+                return false;
+        for (std::size_t c = 0; c <= n_; ++c)
+            if (!std::isfinite(t_(m_, c)))
+                return false;
+        return true;
     }
 
   private:
@@ -128,33 +164,54 @@ class Tableau
  * Run primal simplex iterations on a tableau whose objective row holds
  * reduced costs for a minimization problem.
  *
+ * All thresholds are scaled to the magnitude of the row/column they
+ * test, so the iteration behaves identically on an instance and on a
+ * copy of it multiplied through by 1e8.
+ *
  * @param allowedCols columns eligible to enter the basis
+ * @param bland sticky anti-cycling state, owned by the caller so the
+ *        switch to Bland's rule survives across phases; once set it
+ *        is never cleared (reverting to Dantzig could re-enter the
+ *        degenerate cycle that forced the switch)
  * @return resulting status (Optimal means reduced costs >= 0)
  */
 Status
 iterate(Tableau &tab, const std::vector<bool> &allowedCols,
-        const SolveOptions &opts, std::size_t &iterationBudget)
+        const SolveOptions &opts, std::size_t &iterationBudget,
+        bool &bland, std::size_t &pivots)
 {
     const double eps = opts.eps;
     double last_obj = tab.objValue();
     std::size_t stall = 0;
-    bool bland = false;
+    // Consecutive stalled pivots tolerated before switching to
+    // Bland's rule. Degenerate cycles repeat without improving the
+    // objective, so a run of m+4 zero-progress pivots is already
+    // strong evidence; waiting longer (the old 2*(m+n)) just burns
+    // iteration budget inside the cycle.
+    const std::size_t stall_limit = tab.m() + 4;
 
     while (true) {
         if (iterationBudget == 0)
             return Status::IterationLimit;
 
         // Pricing: pick entering column with negative reduced cost.
+        // The threshold is relative to the objective row's magnitude.
+        double obj_scale = 1.0;
+        for (std::size_t c = 0; c < tab.n(); ++c)
+            if (allowedCols[c])
+                obj_scale = std::max(obj_scale,
+                                     std::abs(tab.obj(c)));
+        const double price_tol = eps * obj_scale;
         std::size_t enter = tab.n();
         if (bland) {
             for (std::size_t c = 0; c < tab.n(); ++c) {
-                if (allowedCols[c] && tab.obj(c) < -eps) {
+                if (allowedCols[c] && tab.obj(c) < -price_tol) {
                     enter = c;
                     break;
                 }
             }
         } else {
-            double best = -eps;
+            double best = -price_tol;
             for (std::size_t c = 0; c < tab.n(); ++c) {
                 if (allowedCols[c] && tab.obj(c) < best) {
                     best = tab.obj(c);
@@ -165,12 +222,15 @@ iterate(Tableau &tab, const std::vector<bool> &allowedCols,
         if (enter == tab.n())
             return Status::Optimal;
 
-        // Ratio test: pick leaving row.
+        // Ratio test: pick leaving row. Entries below the column's
+        // scaled tolerance are elimination noise, not pivots.
+        const double col_tol =
+            eps * std::max(1.0, tab.columnScale(enter));
         std::size_t leave = tab.m();
         double best_ratio = std::numeric_limits<double>::infinity();
         for (std::size_t r = 0; r < tab.m(); ++r) {
             const double a = tab.at(r, enter);
-            if (a > eps) {
+            if (a > col_tol) {
                 const double ratio = tab.rhs(r) / a;
                 if (ratio < best_ratio - eps ||
                     (ratio < best_ratio + eps &&
@@ -184,13 +244,19 @@ iterate(Tableau &tab, const std::vector<bool> &allowedCols,
         if (leave == tab.m())
             return Status::Unbounded;
 
-        tab.pivot(leave, enter);
+        if (!tab.pivot(leave, enter, col_tol * 1e-3) ||
+            !tab.finite())
+            return Status::NumericalFailure;
         --iterationBudget;
+        ++pivots;
 
         // Switch to Bland's rule if the objective stops improving, to
-        // guarantee termination under degeneracy.
-        if (std::abs(tab.objValue() - last_obj) < eps) {
-            if (++stall > 2 * (tab.m() + tab.n()))
+        // guarantee termination under degeneracy. The switch is
+        // sticky: `bland` is never reset, even when a later pivot
+        // does improve the objective or a new phase begins.
+        if (std::abs(tab.objValue() - last_obj) <
+            eps * std::max(1.0, std::abs(last_obj))) {
+            if (++stall > stall_limit)
                 bland = true;
         } else {
             stall = 0;
@@ -246,10 +312,13 @@ solve(const Problem &p, const SolveOptions &opts)
     std::size_t slack_col = n_struct;
     std::size_t art_col = n_struct + n_slack;
     std::vector<std::size_t> art_cols;
+    std::vector<double> art_scales; // owning row's |rhs|
     art_cols.reserve(n_art);
+    art_scales.reserve(n_art);
     for (std::size_t i = 0; i < m; ++i) {
         const Constraint &c = p.constraints()[i];
         const RowPlan &pl = plan[i];
+        const double row_mag = std::abs(c.rhs);
         for (const auto &[idx, coeff] : c.terms)
             tab.at(i, idx) += pl.sign * coeff;
         tab.rhs(i) = pl.sign * c.rhs;
@@ -266,12 +335,14 @@ solve(const Problem &p, const SolveOptions &opts)
             tab.at(i, art_col) = 1.0;
             tab.setBasis(i, art_col);
             art_cols.push_back(art_col);
+            art_scales.push_back(row_mag);
             ++art_col;
             break;
           case Relation::Equal:
             tab.at(i, art_col) = 1.0;
             tab.setBasis(i, art_col);
             art_cols.push_back(art_col);
+            art_scales.push_back(row_mag);
             ++art_col;
             break;
         }
@@ -281,6 +352,10 @@ solve(const Problem &p, const SolveOptions &opts)
     std::vector<bool> allowed(n_total, true);
 
     Solution sol;
+    // Anti-cycling state is per-solve, not per-phase: once phase 1
+    // had to fall back to Bland's rule the same degeneracy is still
+    // present in phase 2.
+    bool bland = false;
 
     // Phase 1: minimize sum of artificials (skip if none).
     if (n_art > 0) {
@@ -296,18 +371,31 @@ solve(const Problem &p, const SolveOptions &opts)
             }
         }
 
-        Status st = iterate(tab, allowed, opts, budget);
-        if (st == Status::IterationLimit) {
+        Status st = iterate(tab, allowed, opts, budget, bland,
+                            sol.pivots);
+        if (st == Status::IterationLimit ||
+            st == Status::NumericalFailure) {
             sol.status = st;
             return sol;
         }
-        // Phase-1 objective value is -sum(artificials) in the tableau's
-        // objective cell (we maintain obj row as reduced costs with
-        // value at rhs being -z).
-        const double art_sum = -tab.objValue();
-        if (art_sum > 1e-6) {
-            sol.status = Status::Infeasible;
-            return sol;
+        // Feasibility test, per row: a residual artificial is
+        // rounding noise only relative to ITS OWN constraint's
+        // |rhs| (floored by feasFloor). A single
+        // aggregate threshold scaled to the largest RHS would let a
+        // ~1e6-scale row mask a genuine violation of an x >= 5 row
+        // in the same system. Nonbasic artificials sit at zero, so
+        // checking basic ones covers the phase-1 objective.
+        for (std::size_t r = 0; r < m; ++r) {
+            const std::size_t b = tab.basis(r);
+            if (b < n_struct + n_slack)
+                continue;
+            const double value = tab.rhs(r);
+            const double scale = art_scales[b - n_struct - n_slack];
+            if (value > opts.feasTol *
+                            std::max(scale, opts.feasFloor)) {
+                sol.status = Status::Infeasible;
+                return sol;
+            }
         }
 
         // Drive any artificial still in the basis out (degenerate).
@@ -319,14 +407,20 @@ solve(const Problem &p, const SolveOptions &opts)
             if (!is_art)
                 continue;
             std::size_t piv = n_total;
+            double piv_tol = eps;
             for (std::size_t c = 0; c < n_struct + n_slack; ++c) {
-                if (std::abs(tab.at(r, c)) > eps) {
+                const double tol =
+                    eps * std::max(1.0, tab.columnScale(c));
+                if (std::abs(tab.at(r, c)) > tol) {
                     piv = c;
+                    piv_tol = tol;
                     break;
                 }
             }
-            if (piv != n_total) {
-                tab.pivot(r, piv);
+            if (piv != n_total &&
+                !tab.pivot(r, piv, piv_tol * 1e-3)) {
+                sol.status = Status::NumericalFailure;
+                return sol;
             }
             // If no pivot exists the row is all-zero (redundant);
             // the artificial stays basic at value zero, harmless.
@@ -351,7 +445,8 @@ solve(const Problem &p, const SolveOptions &opts)
         }
     }
 
-    Status st = iterate(tab, allowed, opts, budget);
+    Status st = iterate(tab, allowed, opts, budget, bland,
+                        sol.pivots);
     if (st != Status::Optimal) {
         sol.status = st;
         return sol;
@@ -365,6 +460,11 @@ solve(const Problem &p, const SolveOptions &opts)
         if (b < n_struct)
             sol.values[b] = std::max(0.0, tab.rhs(r));
     }
+    if (!std::isfinite(sol.objective))
+        sol.status = Status::NumericalFailure;
+    for (double v : sol.values)
+        if (!std::isfinite(v))
+            sol.status = Status::NumericalFailure;
     return sol;
 }
 
@@ -406,6 +506,7 @@ solveMip(const Problem &p, const MipOptions &opts)
     best.status = Status::Infeasible;
     double best_obj = std::numeric_limits<double>::infinity();
     bool capped = false;
+    bool numerical = false;
 
     // Depth-first stack of branch sets.
     std::vector<std::vector<Branch>> stack{{}};
@@ -428,6 +529,8 @@ solveMip(const Problem &p, const MipOptions &opts)
                 return rel;
             continue;
         }
+        if (rel.status == Status::NumericalFailure)
+            numerical = true; // pruned, but remember why
         if (rel.status != Status::Optimal)
             continue; // infeasible subtree (or iteration trouble)
         if (rel.objective >= best_obj - opts.lp.eps)
@@ -475,6 +578,11 @@ solveMip(const Problem &p, const MipOptions &opts)
     }
     if (capped)
         best.status = Status::IterationLimit;
+    // A subtree lost to numerical trouble means "no integral
+    // solution exists" was never certified: report the failure
+    // unless an incumbent was found anyway.
+    if (numerical && best.status == Status::Infeasible)
+        best.status = Status::NumericalFailure;
     return best;
 }
 

@@ -28,8 +28,26 @@ namespace lp {
 /** Constraint sense. */
 enum class Relation { LessEq, GreaterEq, Equal };
 
-/** Solver outcome. */
-enum class Status { Optimal, Infeasible, Unbounded, IterationLimit };
+/**
+ * Solver outcome.
+ *
+ * NumericalFailure means the tableau degraded past what the scaled
+ * tolerances can certify (a degenerate pivot with no acceptable
+ * alternative, or a non-finite value appearing during elimination).
+ * It is a *structured* verdict: callers decide how to degrade; the
+ * solver never aborts the process on a numerically hard instance.
+ */
+enum class Status
+{
+    Optimal,
+    Infeasible,
+    Unbounded,
+    IterationLimit,
+    NumericalFailure,
+};
+
+/** Alias used by the compile pipeline's error taxonomy. */
+using SolveStatus = Status;
 
 /** @return human-readable status name. */
 const char *statusName(Status s);
@@ -107,6 +125,8 @@ struct Solution
     double objective = 0.0;
     /** Variable values; meaningful only when status == Optimal. */
     std::vector<double> values;
+    /** Simplex pivots consumed (diagnostic). */
+    std::size_t pivots = 0;
 
     bool feasible() const { return status == Status::Optimal; }
 };
@@ -116,16 +136,36 @@ struct SolveOptions
 {
     /** Hard cap on pivots across both phases. */
     std::size_t maxIterations = 200000;
-    /** Numeric tolerance for pivoting and feasibility tests. */
+    /**
+     * Base numeric tolerance for pivoting and pricing. Applied
+     * *relative* to the tableau's magnitude: a column whose largest
+     * entry is ~1e8 treats entries below ~1e8 * eps as zero, so
+     * well-scaled-but-large instances neither pivot on rounding
+     * noise nor abort.
+     */
     double eps = 1e-9;
+    /**
+     * Relative phase-1 feasibility tolerance: the instance counts as
+     * infeasible when the residual artificial sum exceeds
+     * feasTol * max(rhsScale, feasFloor), where rhsScale is the
+     * largest |rhs| of the instance. Tiny instances therefore get a
+     * proportionally tiny acceptance threshold instead of the old
+     * absolute 1e-6.
+     */
+    double feasTol = 1e-7;
+    /** Floor for the feasibility scale (guards all-zero RHS). */
+    double feasFloor = 1e-6;
 };
 
 /**
  * Solve the LP with the two-phase primal simplex method.
  *
  * Uses Dantzig pricing with an automatic switch to Bland's rule when
- * the objective stalls, which guarantees termination. Integrality
- * marks are ignored (this is the relaxation).
+ * the objective stalls, which guarantees termination. Once taken,
+ * the switch is sticky for the remainder of the solve (both phases):
+ * reverting to Dantzig mid-solve could re-enter the degenerate cycle
+ * that triggered it. Integrality marks are ignored (this is the
+ * relaxation).
  */
 Solution solve(const Problem &p, const SolveOptions &opts = {});
 

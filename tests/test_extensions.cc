@@ -359,7 +359,7 @@ TEST(CoupledAllocationTest, RecoversInfeasibleGreedySeed)
         << r.detail;
 }
 
-TEST(CoupledAllocationTest, IncompleteSeedIsFatal)
+TEST(CoupledAllocationTest, IncompleteSeedIsStructuredFailure)
 {
     const TaskFlowGraph g = buildDvbTfg({});
     const auto cube = GeneralizedHypercube::binaryCube(6);
@@ -367,9 +367,11 @@ TEST(CoupledAllocationTest, IncompleteSeedIsFatal)
     tm.apSpeed = 38.5;
     TaskAllocation seed(g.numTasks(), cube.numNodes());
     Rng rng(1);
-    EXPECT_THROW(coupleAllocationWithPaths(g, cube, tm, 100.0, seed,
-                                           rng),
-                 FatalError);
+    const CoupledAllocationResult res =
+        coupleAllocationWithPaths(g, cube, tm, 100.0, seed, rng);
+    EXPECT_FALSE(res.ok);
+    EXPECT_FALSE(res.error.empty());
+    EXPECT_EQ(res.accepted, 0);
 }
 
 // ---------------------------------------------------------------

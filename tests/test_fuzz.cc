@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Tests for the differential fuzz harness itself: case
+ * serialization, deterministic generation, the shrinker, and replay
+ * of the checked-in regression corpus (tests/corpus/*.srfuzz).
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "fuzz/differential.hh"
+#include "fuzz/fuzz_case.hh"
+#include "fuzz/generator.hh"
+#include "fuzz/shrink.hh"
+#include "topology/factory.hh"
+
+namespace srsim {
+namespace {
+
+TEST(FuzzCaseTest, RoundTripsThroughText)
+{
+    const fuzz::FuzzCase c = fuzz::generateCase(42);
+    std::ostringstream os;
+    fuzz::writeFuzzCase(os, c);
+    std::istringstream is(os.str());
+    const fuzz::FuzzCase d = fuzz::readFuzzCase(is);
+
+    EXPECT_EQ(d.seed, c.seed);
+    EXPECT_EQ(d.topoSpec, c.topoSpec);
+    EXPECT_EQ(d.g.numTasks(), c.g.numTasks());
+    EXPECT_EQ(d.g.numMessages(), c.g.numMessages());
+    EXPECT_EQ(d.taskNode, c.taskNode);
+    EXPECT_DOUBLE_EQ(d.tm.apSpeed, c.tm.apSpeed);
+    EXPECT_DOUBLE_EQ(d.tm.bandwidth, c.tm.bandwidth);
+    EXPECT_DOUBLE_EQ(d.tm.packetBytes, c.tm.packetBytes);
+    EXPECT_DOUBLE_EQ(d.inputPeriod, c.inputPeriod);
+    EXPECT_DOUBLE_EQ(d.guardTime, c.guardTime);
+    EXPECT_EQ(d.allocMethod, c.allocMethod);
+    EXPECT_EQ(d.schedMethod, c.schedMethod);
+    EXPECT_EQ(d.exactPacketMip, c.exactPacketMip);
+    EXPECT_EQ(d.useAssignPaths, c.useAssignPaths);
+    EXPECT_EQ(d.assignSeed, c.assignSeed);
+    EXPECT_EQ(d.maxRestarts, c.maxRestarts);
+    EXPECT_EQ(d.feedbackRounds, c.feedbackRounds);
+
+    // The round-tripped case must run to the same verdict.
+    fuzz::RunOptions opts;
+    opts.invocations = 8;
+    opts.warmup = 2;
+    EXPECT_EQ(fuzz::runCase(c, opts).verdict,
+              fuzz::runCase(d, opts).verdict);
+}
+
+TEST(FuzzCaseTest, MalformedDocumentIsFatal)
+{
+    std::istringstream is("not-a-fuzz-case\n");
+    EXPECT_THROW(fuzz::readFuzzCase(is), FatalError);
+}
+
+TEST(FuzzGeneratorTest, SameSeedSameCase)
+{
+    const fuzz::FuzzCase a = fuzz::generateCase(7);
+    const fuzz::FuzzCase b = fuzz::generateCase(7);
+    std::ostringstream oa, ob;
+    fuzz::writeFuzzCase(oa, a);
+    fuzz::writeFuzzCase(ob, b);
+    EXPECT_EQ(oa.str(), ob.str());
+}
+
+TEST(FuzzGeneratorTest, PlacementIsInjective)
+{
+    // The differential oracles only agree under the dedicated-AP
+    // premise, so the generator must never co-locate two tasks.
+    for (std::uint64_t seed = 0; seed < 30; ++seed) {
+        const fuzz::FuzzCase c = fuzz::generateCase(seed);
+        std::vector<NodeId> nodes = c.taskNode;
+        std::sort(nodes.begin(), nodes.end());
+        EXPECT_TRUE(std::adjacent_find(nodes.begin(), nodes.end()) ==
+                    nodes.end())
+            << "seed " << seed << " co-locates tasks";
+        const auto topo = makeTopology(c.topoSpec);
+        for (NodeId n : nodes) {
+            EXPECT_GE(n, 0);
+            EXPECT_LT(n, topo->numNodes());
+        }
+    }
+}
+
+TEST(FuzzShrinkTest, RemovesIrrelevantStructure)
+{
+    // Predicate: "fails" whenever message 'keep' is present. The
+    // shrinker must strip everything else and keep its endpoints.
+    fuzz::FuzzCase c = fuzz::generateCase(3);
+    const TaskId a = c.g.addTask("sentinel-a", 100.0);
+    const TaskId b = c.g.addTask("sentinel-b", 100.0);
+    c.g.addMessage("keep", a, b, 64.0);
+    c.taskNode.push_back(0);
+    c.taskNode.push_back(1);
+
+    const auto stillFails = [](const fuzz::FuzzCase &cand) {
+        for (MessageId m = 0; m < cand.g.numMessages(); ++m)
+            if (cand.g.message(m).name == "keep")
+                return true;
+        return false;
+    };
+    fuzz::ShrinkStats st;
+    const fuzz::FuzzCase min =
+        fuzz::shrinkCase(c, stillFails, 400, &st);
+    EXPECT_EQ(min.g.numMessages(), 1);
+    EXPECT_EQ(min.g.numTasks(), 2);
+    EXPECT_TRUE(stillFails(min));
+    EXPECT_GT(st.evaluations, 0u);
+    EXPECT_EQ(min.taskNode.size(),
+              static_cast<std::size_t>(min.g.numTasks()));
+}
+
+TEST(FuzzShrinkTest, ReturnsOriginalWhenNothingRemovable)
+{
+    const fuzz::FuzzCase c = fuzz::generateCase(5);
+    // Nothing "fails": the shrinker must hand back the case as-is.
+    const fuzz::FuzzCase min = fuzz::shrinkCase(
+        c, [](const fuzz::FuzzCase &) { return false; }, 50);
+    EXPECT_EQ(min.g.numTasks(), c.g.numTasks());
+    EXPECT_EQ(min.g.numMessages(), c.g.numMessages());
+}
+
+TEST(FuzzCorpusTest, EveryCorpusCaseReplaysClean)
+{
+    const std::filesystem::path dir(SRSIM_CORPUS_DIR);
+    ASSERT_TRUE(std::filesystem::is_directory(dir))
+        << "corpus directory missing: " << dir;
+    std::size_t replayed = 0;
+    for (const auto &e : std::filesystem::directory_iterator(dir)) {
+        if (e.path().extension() != ".srfuzz")
+            continue;
+        std::ifstream in(e.path());
+        ASSERT_TRUE(in.good()) << e.path();
+        const fuzz::FuzzCase c = fuzz::readFuzzCase(in);
+        const fuzz::RunResult r = fuzz::runCase(c);
+        EXPECT_FALSE(r.failed())
+            << e.path().filename().string() << ": " << r.report;
+        ++replayed;
+    }
+    EXPECT_GT(replayed, 0u) << "corpus is empty";
+}
+
+} // namespace
+} // namespace srsim

@@ -192,18 +192,23 @@ TEST(PacketTest, UnalignedWorkloadsCompileWithPacketBytes)
 TEST(PacketTest, NonPacketDurationsAreRejected)
 {
     // Asking for a packet grid without rounding message times must
-    // be refused loudly, not produce a broken schedule.
-    TaskFlowGraph g = patterns::chain(3, 100.0, 1111.0);
+    // be refused as invalid input, not produce a broken schedule.
+    TaskFlowGraph g = patterns::chain(3, 100.0, 400.0);
     TimingModel tm;
     tm.apSpeed = 10.0;
-    tm.bandwidth = 64.0; // 17.36 us messages, not packet-aligned
+    tm.bandwidth = 64.0; // 6.25 us messages, not packet-aligned
     const Torus torus({4, 4});
     const TaskAllocation alloc = alloc::greedy(g, torus);
     SrCompilerConfig cfg;
     cfg.inputPeriod = 4.0 * tm.tauC(g);
     cfg.scheduling.packetTime = 1.0;
-    EXPECT_THROW(compileScheduledRouting(g, torus, alloc, tm, cfg),
-                 FatalError);
+    const SrCompileResult r =
+        compileScheduledRouting(g, torus, alloc, tm, cfg);
+    EXPECT_FALSE(r.feasible);
+    EXPECT_EQ(r.stage, SrFailureStage::InvalidInput);
+    EXPECT_NE(r.error.message, kInvalidMessage);
+    EXPECT_NE(r.detail.find("whole number of packets"),
+              std::string::npos);
 }
 
 } // namespace

@@ -238,5 +238,109 @@ TEST_P(LpRandomFeasible, SolutionSatisfiesAllConstraints)
 INSTANTIATE_TEST_SUITE_P(Seeds, LpRandomFeasible,
                          ::testing::Range(1, 26));
 
+// ---------------------------------------------------------------
+// Numerical-hardening regressions. Each of these failed before the
+// solver moved to scale-relative tolerances and the sticky Bland
+// switch: the first was silently accepted, the second aborted the
+// process, the third hit the iteration limit by cycling.
+// ---------------------------------------------------------------
+
+TEST(LpNumericsTest, TinyInfeasiblePairIsNotSwallowed)
+{
+    // x = 1e-7 and x = 2e-7 differ by less than the old *absolute*
+    // phase-1 threshold (1e-6), which accepted this system as
+    // feasible. The relative test must reject it.
+    Problem p;
+    const auto x = p.addVariable(1.0, "x");
+    p.addConstraint({{x, 1.0}}, Relation::Equal, 1e-7);
+    p.addConstraint({{x, 1.0}}, Relation::Equal, 2e-7);
+    EXPECT_EQ(lp::solve(p).status, Status::Infeasible);
+}
+
+TEST(LpNumericsTest, DegeneratePivotReturnsStatusNotAbort)
+{
+    // A pivot column of magnitude 1e-13 under eps = 1e-15 used to
+    // trip the absolute degenerate-pivot assertion and abort. Any
+    // status is acceptable; escaping exceptions are not.
+    Problem p;
+    const auto x = p.addVariable(-1.0, "x");
+    p.addConstraint({{x, 1e-13}}, Relation::LessEq, 1.0);
+    lp::SolveOptions opts;
+    opts.eps = 1e-15;
+    Solution s;
+    EXPECT_NO_THROW(s = lp::solve(p, opts));
+    EXPECT_TRUE(s.status == Status::Optimal ||
+                s.status == Status::Unbounded ||
+                s.status == Status::NumericalFailure)
+        << lp::statusName(s.status);
+}
+
+TEST(LpNumericsTest, BealeCycleSolvesUnderTightPivotBudget)
+{
+    // Beale's classic cycling instance. Dantzig pricing alone
+    // cycles forever; a Bland switch that is not sticky re-enters
+    // the cycle. With the sticky switch the optimum (-1/20) is
+    // reached well within 16 pivots.
+    Problem p;
+    const auto x1 = p.addVariable(-0.75, "x1");
+    const auto x2 = p.addVariable(150.0, "x2");
+    const auto x3 = p.addVariable(-0.02, "x3");
+    const auto x4 = p.addVariable(6.0, "x4");
+    p.addConstraint({{x1, 0.25}, {x2, -60.0}, {x3, -0.04}, {x4, 9.0}},
+                    Relation::LessEq, 0.0);
+    p.addConstraint({{x1, 0.5}, {x2, -90.0}, {x3, -0.02}, {x4, 3.0}},
+                    Relation::LessEq, 0.0);
+    p.addConstraint({{x3, 1.0}}, Relation::LessEq, 1.0);
+    lp::SolveOptions opts;
+    opts.maxIterations = 16;
+    const Solution s = lp::solve(p, opts);
+    ASSERT_EQ(s.status, Status::Optimal) << lp::statusName(s.status);
+    EXPECT_NEAR(s.objective, -0.05, 1e-9);
+}
+
+TEST(LpNumericsTest, LargeScaleFeasibleSystemNotMisclassified)
+{
+    // At rhs scale 1e12 the phase-1 residual after elimination is
+    // far above the old absolute 1e-6 threshold even for a clean
+    // feasible system; the relative test must accept it.
+    Problem p;
+    const auto x = p.addVariable(1.0, "x");
+    const auto y = p.addVariable(1.0, "y");
+    p.addConstraint({{x, 1.0}, {y, 1.0}}, Relation::Equal, 1e12);
+    p.addConstraint({{x, 1.0}, {y, -1.0}}, Relation::Equal, 2e8);
+    const Solution s = lp::solve(p);
+    ASSERT_EQ(s.status, Status::Optimal) << lp::statusName(s.status);
+    EXPECT_NEAR(s.values[x] + s.values[y], 1e12, 1.0);
+}
+
+TEST(LpNumericsTest, MixedScaleCoefficientsStayOptimal)
+{
+    // Columns spanning ~1e8 in magnitude: per-column relative
+    // tolerances must neither reject the pivot nor misprice.
+    Problem p;
+    const auto x = p.addVariable(1.0, "x");
+    const auto y = p.addVariable(1e-4, "y");
+    p.addConstraint({{x, 1e8}, {y, 1.0}}, Relation::GreaterEq, 1e8);
+    p.addConstraint({{x, 1.0}, {y, 1e-8}}, Relation::LessEq, 10.0);
+    const Solution s = lp::solve(p);
+    ASSERT_EQ(s.status, Status::Optimal) << lp::statusName(s.status);
+}
+
+TEST(LpNumericsTest, MipOnIllScaledRelaxationSurvives)
+{
+    // Branch and bound over a large-scale relaxation: the solver
+    // must neither abort nor return a fractional incumbent.
+    Problem p;
+    const auto x = p.addVariable(-1.0, "x");
+    const auto y = p.addVariable(-1.0, "y");
+    p.markInteger(x);
+    p.markInteger(y);
+    p.addConstraint({{x, 1e6}, {y, 1e6}}, Relation::LessEq, 7.5e6);
+    p.addConstraint({{x, 1.0}}, Relation::LessEq, 5.0);
+    const Solution s = lp::solveMip(p);
+    ASSERT_EQ(s.status, Status::Optimal) << lp::statusName(s.status);
+    EXPECT_NEAR(s.values[x] + s.values[y], 7.0, 1e-6);
+}
+
 } // namespace
 } // namespace srsim

@@ -43,7 +43,7 @@ TEST(SrCompilerTest, AllCoLocatedIsTriviallyFeasible)
     EXPECT_TRUE(r.bounds.messages.empty());
 }
 
-TEST(SrCompilerTest, PeriodBelowTauCIsFatal)
+TEST(SrCompilerTest, PeriodBelowTauCIsInvalidInput)
 {
     const TaskFlowGraph g = buildDvbTfg({});
     const auto cube = GeneralizedHypercube::binaryCube(6);
@@ -54,8 +54,12 @@ TEST(SrCompilerTest, PeriodBelowTauCIsFatal)
     const TaskAllocation alloc = alloc::roundRobin(g, cube, 13);
     SrCompilerConfig cfg;
     cfg.inputPeriod = 0.5 * tm.tauC(g);
-    EXPECT_THROW(compileScheduledRouting(g, cube, alloc, tm, cfg),
-                 FatalError);
+    const SrCompileResult r =
+        compileScheduledRouting(g, cube, alloc, tm, cfg);
+    EXPECT_FALSE(r.feasible);
+    EXPECT_EQ(r.stage, SrFailureStage::InvalidInput);
+    EXPECT_EQ(r.error.stage, SrFailureStage::InvalidInput);
+    EXPECT_FALSE(r.detail.empty());
 }
 
 TEST(SrCompilerTest, UtilizationGateReportsStage)

@@ -8,6 +8,8 @@
 
 #include "core/sr_compiler.hh"
 #include "core/verifier.hh"
+#include "fuzz/differential.hh"
+#include "fuzz/generator.hh"
 #include "mapping/allocation.hh"
 #include "tfg/tfg.hh"
 #include "tfg/timing.hh"
@@ -137,6 +139,32 @@ TEST_F(VerifierFixture, RejectsEmptySegment)
         verifySchedule(g, cube, alloc, sr.bounds, bad);
     EXPECT_FALSE(v.ok);
 }
+
+// ---------------------------------------------------------------
+// Seed-pinned mini fuzz: a fixed slice of the differential fuzzer's
+// seed space runs on every test invocation, cross-checking the
+// verifier against the CP-level simulation and the analytic
+// executor. Divergences found by the long-running `srfuzz` tool
+// land here (or in tests/corpus/) as pinned seeds once fixed.
+// ---------------------------------------------------------------
+
+class VerifierMiniFuzz : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(VerifierMiniFuzz, OraclesAgreeOnSeed)
+{
+    const auto seed = static_cast<std::uint64_t>(GetParam());
+    const fuzz::FuzzCase c = fuzz::generateCase(seed);
+    fuzz::RunOptions opts;
+    opts.invocations = 12; // keep the per-seed cost test-sized
+    opts.warmup = 3;
+    const fuzz::RunResult r = fuzz::runCase(c, opts);
+    EXPECT_FALSE(r.failed())
+        << "seed " << seed << ": " << r.report;
+}
+
+INSTANTIATE_TEST_SUITE_P(PinnedSeeds, VerifierMiniFuzz,
+                         ::testing::Range(0, 20));
 
 } // namespace
 } // namespace srsim

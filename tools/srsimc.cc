@@ -177,9 +177,11 @@ makeAllocation(const Options &opts, const TaskFlowGraph &g,
                                  std::stoi(kind.substr(3)));
     if (kind == "coupled") {
         const TaskAllocation seed = alloc::greedy(g, topo);
-        return coupleAllocationWithPaths(g, topo, tm, period, seed,
-                                         rng)
-            .allocation;
+        CoupledAllocationResult coupled = coupleAllocationWithPaths(
+            g, topo, tm, period, seed, rng);
+        if (!coupled.ok)
+            fatal("coupled allocation failed: ", coupled.error);
+        return std::move(coupled.allocation);
     }
     fatal("unknown --alloc kind '", kind, "'");
 }
