@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Structured failure descriptions shared by the SR compiler, the
+ * verifier, and the fault-repair pipeline.
+ */
+
+#ifndef SRSIM_CORE_COMPILE_ERROR_HH_
+#define SRSIM_CORE_COMPILE_ERROR_HH_
+
+#include <string>
+
+#include "solver/lp.hh"
+#include "tfg/tfg.hh"
+
+namespace srsim {
+
+/** Stage at which compilation stopped. */
+enum class SrFailureStage
+{
+    None,          ///< feasible schedule produced
+    InvalidInput,  ///< malformed problem (bad period, allocation...)
+    Utilization,   ///< peak utilization exceeds one
+    Allocation,    ///< message-interval allocation infeasible
+    Scheduling,    ///< an interval is unschedulable
+    Numerical,     ///< a solver gave up numerically, not provably
+    Verification,  ///< internal: verifier rejected the schedule
+    Fault,         ///< faults disconnected or starved the problem
+};
+
+/** @return human-readable stage name. */
+const char *srFailureStageName(SrFailureStage s);
+
+/**
+ * Structured description of a compilation failure.
+ *
+ * Every infeasible (or error) compile carries one of these instead
+ * of panicking: the stage that failed, the solver verdict behind it
+ * (when a mathematical program was involved), and the most specific
+ * problem coordinates known — subset, interval, and message id.
+ */
+struct CompileError
+{
+    SrFailureStage stage = SrFailureStage::None;
+    /** Solver verdict behind the failure (Optimal = no LP involved). */
+    lp::Status solverStatus = lp::Status::Optimal;
+    /** Failing maximal subset, or -1. */
+    int subset = -1;
+    /** Failing interval, or -1. */
+    int interval = -1;
+    /** Offending message, or kInvalidMessage. */
+    MessageId message = kInvalidMessage;
+    /** Human-readable description. */
+    std::string detail;
+
+    bool any() const { return stage != SrFailureStage::None; }
+};
+
+} // namespace srsim
+
+#endif // SRSIM_CORE_COMPILE_ERROR_HH_

@@ -13,13 +13,18 @@ namespace srsim {
 
 namespace {
 
-/** Guard-reserved capacity of (link, interval) for one subset. */
+/**
+ * Guard-reserved capacity of (link, interval) for one subset,
+ * scaled by the link's surviving duty-cycle fraction when the
+ * topology is degraded.
+ */
 Time
 guardedCapacity(const IntervalSet &ivs, const PathAssignment &pa,
                 const MessageSubset &sub, LinkId l, std::size_t k,
-                Time guard)
+                Time guard, const Topology *topo)
 {
-    const Time len = ivs.interval(k).length();
+    const double cap = topo ? topo->linkCapacity(l) : 1.0;
+    const Time len = ivs.interval(k).length() * cap;
     if (guard <= 0.0)
         return len;
     int active = 0;
@@ -46,8 +51,9 @@ guardedCapacity(const IntervalSet &ivs, const PathAssignment &pa,
 bool
 allocateSubsetLp(const TimeBounds &bounds, const IntervalSet &ivs,
                  const PathAssignment &pa, const MessageSubset &sub,
-                 Time guard, Matrix<Time> &P, double &peakLoad,
-                 lp::Status &status, std::string &error)
+                 Time guard, const Topology *topo, Matrix<Time> &P,
+                 double &peakLoad, lp::Status &status,
+                 std::string &error)
 {
     lp::Problem prob;
 
@@ -99,7 +105,8 @@ allocateSubsetLp(const TimeBounds &bounds, const IntervalSet &ivs,
             if (c.terms.empty())
                 continue;
             c.terms.emplace_back(
-                z, -guardedCapacity(ivs, pa, sub, l, k, guard));
+                z, -guardedCapacity(ivs, pa, sub, l, k, guard,
+                                    topo));
             c.rel = lp::Relation::LessEq;
             c.rhs = 0.0;
             prob.addConstraint(std::move(c));
@@ -137,15 +144,15 @@ bool
 allocateSubsetGreedy(const TimeBounds &bounds, const IntervalSet &ivs,
                      const PathAssignment &pa,
                      const MessageSubset &sub, Time guard,
-                     Matrix<Time> &P, double &peakLoad,
-                     std::string &error)
+                     const Topology *topo, Matrix<Time> &P,
+                     double &peakLoad, std::string &error)
 {
     // Residual capacity per (link, interval), guard-reserved.
     std::map<std::pair<LinkId, std::size_t>, Time> residual;
     for (LinkId l : sub.links)
         for (std::size_t k : sub.intervals)
             residual[{l, k}] =
-                guardedCapacity(ivs, pa, sub, l, k, guard);
+                guardedCapacity(ivs, pa, sub, l, k, guard, topo);
 
     std::vector<std::size_t> order = sub.members;
     std::sort(order.begin(), order.end(),
@@ -287,7 +294,7 @@ allocateMessageIntervals(const TimeBounds &bounds,
                          const PathAssignment &pa,
                          const std::vector<MessageSubset> &subsets,
                          AllocationMethod method, Time guardTime,
-                         Time packetTime)
+                         Time packetTime, const Topology *topo)
 {
     IntervalAllocation out;
     out.allocation =
@@ -308,11 +315,12 @@ allocateMessageIntervals(const TimeBounds &bounds,
             r.ok =
                 method == AllocationMethod::Lp
                     ? allocateSubsetLp(bounds, intervals, pa,
-                                       subsets[s], guardTime, local,
-                                       r.peakLoad, r.status, r.error)
+                                       subsets[s], guardTime, topo,
+                                       local, r.peakLoad, r.status,
+                                       r.error)
                     : allocateSubsetGreedy(bounds, intervals, pa,
                                            subsets[s], guardTime,
-                                           local, r.peakLoad,
+                                           topo, local, r.peakLoad,
                                            r.error);
             if (r.ok && packetTime > 0.0) {
                 for (std::size_t h : subsets[s].members) {

@@ -73,6 +73,9 @@ enum class AllocationMethod { Lp, Greedy };
  *        rounded to whole packets (largest-remainder rounding that
  *        preserves each message's total), matching Sec. 4.1's
  *        packet time base.
+ * @param topo when given, per-(link, interval) capacity is scaled by
+ *        Topology::linkCapacity so derated links only offer their
+ *        surviving duty-cycle fraction of each interval.
  */
 IntervalAllocation
 allocateMessageIntervals(const TimeBounds &bounds,
@@ -82,7 +85,8 @@ allocateMessageIntervals(const TimeBounds &bounds,
                          AllocationMethod method =
                              AllocationMethod::Lp,
                          Time guardTime = 0.0,
-                         Time packetTime = 0.0);
+                         Time packetTime = 0.0,
+                         const Topology *topo = nullptr);
 
 } // namespace srsim
 

@@ -1,6 +1,7 @@
 #include "core/path_assignment.hh"
 
 #include <algorithm>
+#include <limits>
 #include <set>
 #include <string>
 
@@ -45,8 +46,13 @@ UtilizationAnalyzer::linkUtilization(const PathAssignment &pa,
     for (std::size_t k = 0; k < intervals_.size(); ++k)
         if (used[k])
             avail += intervals_.interval(k).length();
+    // A derated link only offers its duty-cycle fraction of the
+    // active time; a failed link offers none.
+    avail *= topo_.linkCapacity(j);
     if (avail <= 0.0)
-        return 0.0;
+        return demand > 0.0
+                   ? std::numeric_limits<double>::infinity()
+                   : 0.0;
     return demand / avail;
 }
 
@@ -100,8 +106,13 @@ UtilizationAnalyzer::analyze(const PathAssignment &pa) const
         for (std::size_t k = 0; k < kk; ++k)
             if (scratchUsed_[lj * kk + k])
                 avail += intervals_.interval(k).length();
+        avail *= topo_.linkCapacity(j);
         const double u =
-            avail > 0.0 ? scratchDemand_[lj] / avail : 0.0;
+            avail > 0.0
+                ? scratchDemand_[lj] / avail
+                : (scratchDemand_[lj] > 0.0
+                       ? std::numeric_limits<double>::infinity()
+                       : 0.0);
         if (u > rep.peak) {
             rep.peak = u;
             rep.position = PeakPosition{false, j, 0};

@@ -17,6 +17,7 @@
 #define SRSIM_CORE_SCHEDULE_HH_
 
 #include <ostream>
+#include <string>
 #include <vector>
 
 #include "core/path_assignment.hh"
@@ -79,6 +80,15 @@ struct GlobalSchedule
     std::vector<std::vector<TimeWindow>> segments;
     /** The path each message's windows apply to. */
     PathAssignment paths;
+
+    // ---- degraded-mode provenance (empty/zero on healthy compiles)
+    /** Fault spec this schedule was compiled against, if any. */
+    std::string faultSpec;
+    /**
+     * Period of the healthy schedule this one replaced, when the
+     * repair pipeline had to stretch the period; 0 otherwise.
+     */
+    Time degradedFrom = 0.0;
 
     /** Total scheduled transmission time of message index i. */
     Time

@@ -10,7 +10,8 @@ namespace srsim {
 
 namespace {
 
-constexpr const char *kMagic = "srsim-schedule v1";
+constexpr const char *kMagicV1 = "srsim-schedule v1";
+constexpr const char *kMagicV2 = "srsim-schedule v2";
 
 std::string
 expectLine(std::istream &is, const char *what)
@@ -26,9 +27,18 @@ expectLine(std::istream &is, const char *what)
 void
 writeSchedule(std::ostream &os, const GlobalSchedule &omega)
 {
-    os << kMagic << "\n";
+    // Healthy schedules keep the v1 format byte for byte; the v2
+    // header appears only when degraded-mode provenance is present,
+    // so pre-fault readers keep working on pre-fault files.
+    const bool v2 =
+        !omega.faultSpec.empty() || omega.degradedFrom > 0.0;
+    os << (v2 ? kMagicV2 : kMagicV1) << "\n";
     os << std::setprecision(17);
     os << "period " << omega.period << "\n";
+    if (v2 && !omega.faultSpec.empty())
+        os << "faults " << omega.faultSpec << "\n";
+    if (v2 && omega.degradedFrom > 0.0)
+        os << "degraded-from " << omega.degradedFrom << "\n";
     os << "messages " << omega.segments.size() << "\n";
     for (std::size_t i = 0; i < omega.segments.size(); ++i) {
         const Path &p = omega.paths.pathFor(i);
@@ -48,8 +58,9 @@ readSchedule(std::istream &is, const Topology &topo)
 {
     GlobalSchedule omega;
 
-    if (expectLine(is, "magic") != kMagic)
-        fatal("not an srsim-schedule v1 file");
+    const std::string magic = expectLine(is, "magic");
+    if (magic != kMagicV1 && magic != kMagicV2)
+        fatal("not an srsim-schedule v1/v2 file");
 
     {
         std::istringstream ls(expectLine(is, "period"));
@@ -59,13 +70,30 @@ readSchedule(std::istream &is, const Topology &topo)
             fatal("bad period line in schedule file");
     }
 
+    // v2 optional provenance lines, then the message count (also the
+    // v1 next line, so v1 files take this loop zero times).
     std::size_t nmsg = 0;
-    {
-        std::istringstream ls(expectLine(is, "message count"));
+    for (;;) {
+        std::istringstream ls(expectLine(is, "header"));
         std::string kw;
-        ls >> kw >> nmsg;
-        if (kw != "messages")
+        ls >> kw;
+        if (kw == "messages") {
+            ls >> nmsg;
+            break;
+        }
+        if (magic != kMagicV2)
             fatal("bad messages line in schedule file");
+        if (kw == "faults") {
+            ls >> omega.faultSpec;
+            if (omega.faultSpec.empty())
+                fatal("empty faults line in schedule file");
+        } else if (kw == "degraded-from") {
+            ls >> omega.degradedFrom;
+            if (ls.fail() || !(omega.degradedFrom > 0.0))
+                fatal("bad degraded-from line in schedule file");
+        } else {
+            fatal("unknown schedule header line '", kw, "'");
+        }
     }
 
     omega.segments.resize(nmsg);
@@ -84,6 +112,20 @@ readSchedule(std::istream &is, const Topology &topo)
                 nodes.push_back(n);
             if (nodes.empty())
                 fatal("empty path for message ", i);
+            // Validate before makePath: a file whose route does not
+            // exist in this topology is bad *input*, not an internal
+            // invariant violation.
+            for (NodeId n2 : nodes)
+                if (n2 < 0 || n2 >= topo.numNodes())
+                    fatal("message ", i, ": node ", n2,
+                          " outside the ", topo.numNodes(),
+                          "-node fabric");
+            for (std::size_t j = 0; j + 1 < nodes.size(); ++j) {
+                if (!topo.adjacent(nodes[j], nodes[j + 1]))
+                    fatal("message ", i, ": nodes ", nodes[j],
+                          " and ", nodes[j + 1],
+                          " are not adjacent in ", topo.name());
+            }
             omega.paths.paths[i] = topo.makePath(nodes);
         }
         std::size_t nseg = 0;

@@ -20,6 +20,7 @@ srFailureStageName(SrFailureStage s)
       case SrFailureStage::Scheduling: return "scheduling";
       case SrFailureStage::Numerical: return "numerical";
       case SrFailureStage::Verification: return "verification";
+      case SrFailureStage::Fault: return "fault";
     }
     return "unknown";
 }
@@ -71,8 +72,14 @@ attemptCompile(const TaskFlowGraph &g, const Topology &topo,
                                            res.bounds, ivs,
                                            assign_opts);
         if (!ap.ok) {
-            fail(res, SrFailureStage::InvalidInput, ap.error,
-                 lp::Status::Optimal, -1, -1, ap.failedMessage);
+            // On a degraded fabric, "no path" means faults
+            // disconnected the endpoints — a Fault failure, not a
+            // malformed problem.
+            fail(res,
+                 topo.degraded() ? SrFailureStage::Fault
+                                 : SrFailureStage::InvalidInput,
+                 ap.error, lp::Status::Optimal, -1, -1,
+                 ap.failedMessage);
             return false;
         }
         res.paths = std::move(ap.assignment);
@@ -82,6 +89,16 @@ attemptCompile(const TaskFlowGraph &g, const Topology &topo,
     } else {
         trace::ScopedPhase phase("lsd_to_msd");
         res.paths = lsdToMsdAssignment(g, topo, alloc, res.bounds);
+        for (std::size_t i = 0; i < res.paths.paths.size(); ++i) {
+            if (res.paths.paths[i].empty()) {
+                fail(res, SrFailureStage::Fault,
+                     "faults disconnected the LSD-to-MSD route of "
+                     "message index " + std::to_string(i),
+                     lp::Status::Optimal, -1, -1,
+                     res.bounds.messages[i].msg);
+                return false;
+            }
+        }
         UtilizationAnalyzer ua(res.bounds, ivs, topo);
         res.utilization = ua.analyze(res.paths);
     }
@@ -106,7 +123,8 @@ attemptCompile(const TaskFlowGraph &g, const Topology &topo,
         trace::ScopedPhase phase("interval_allocation");
         res.allocation = allocateMessageIntervals(
             res.bounds, ivs, res.paths, subsets, cfg.allocMethod,
-            cfg.scheduling.guardTime, cfg.scheduling.packetTime);
+            cfg.scheduling.guardTime, cfg.scheduling.packetTime,
+            &topo);
     }
     if (!res.allocation.feasible) {
         std::ostringstream oss;

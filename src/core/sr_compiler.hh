@@ -26,6 +26,7 @@
 #include <optional>
 #include <string>
 
+#include "core/compile_error.hh"
 #include "core/interval_allocation.hh"
 #include "core/interval_scheduling.hh"
 #include "core/intervals.hh"
@@ -41,46 +42,6 @@
 #include "topology/topology.hh"
 
 namespace srsim {
-
-/** Stage at which compilation stopped. */
-enum class SrFailureStage
-{
-    None,          ///< feasible schedule produced
-    InvalidInput,  ///< malformed problem (bad period, allocation...)
-    Utilization,   ///< peak utilization exceeds one
-    Allocation,    ///< message-interval allocation infeasible
-    Scheduling,    ///< an interval is unschedulable
-    Numerical,     ///< a solver gave up numerically, not provably
-    Verification,  ///< internal: verifier rejected the schedule
-};
-
-/** @return human-readable stage name. */
-const char *srFailureStageName(SrFailureStage s);
-
-/**
- * Structured description of a compilation failure.
- *
- * Every infeasible (or error) compile carries one of these instead
- * of panicking: the stage that failed, the solver verdict behind it
- * (when a mathematical program was involved), and the most specific
- * problem coordinates known — subset, interval, and message id.
- */
-struct CompileError
-{
-    SrFailureStage stage = SrFailureStage::None;
-    /** Solver verdict behind the failure (Optimal = no LP involved). */
-    lp::Status solverStatus = lp::Status::Optimal;
-    /** Failing maximal subset, or -1. */
-    int subset = -1;
-    /** Failing interval, or -1. */
-    int interval = -1;
-    /** Offending message, or kInvalidMessage. */
-    MessageId message = kInvalidMessage;
-    /** Human-readable description. */
-    std::string detail;
-
-    bool any() const { return stage != SrFailureStage::None; }
-};
 
 /** Compiler configuration. */
 struct SrCompilerConfig

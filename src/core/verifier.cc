@@ -37,6 +37,48 @@ verifySchedule(const TaskFlowGraph &g, const Topology &topo,
     if (!timeEq(omega.period, bounds.inputPeriod))
         res.fail("schedule period differs from input period");
 
+    // Structural gate: the schedule must only reference resources
+    // that exist in (and survive the fault mask of) this topology.
+    // A schedule compiled for a different or healthier fabric fails
+    // loudly with a structured error instead of tripping internal
+    // assertions in the derived-schedule checks below.
+    for (std::size_t i = 0; i < bounds.messages.size(); ++i) {
+        const Message &m = g.message(bounds.messages[i].msg);
+        for (LinkId l : omega.paths.pathFor(i).links) {
+            if (l < 0 || l >= topo.numLinks()) {
+                res.fail("message '" + m.name +
+                         "': references link " + std::to_string(l) +
+                         " absent from " + topo.name() + " (" +
+                         std::to_string(topo.numLinks()) +
+                         " links)");
+                res.error.stage = SrFailureStage::Verification;
+                res.error.message = m.id;
+                res.error.detail = res.violations.back();
+                return res;
+            }
+            if (!topo.linkUp(l)) {
+                res.fail("message '" + m.name +
+                         "': routed over failed link " +
+                         std::to_string(l));
+                res.error.stage = SrFailureStage::Fault;
+                res.error.message = m.id;
+                res.error.detail = res.violations.back();
+                return res;
+            }
+        }
+        for (NodeId n : omega.paths.pathFor(i).nodes) {
+            if (n >= 0 && n < topo.numNodes() && !topo.nodeUp(n)) {
+                res.fail("message '" + m.name +
+                         "': routed through failed node " +
+                         std::to_string(n));
+                res.error.stage = SrFailureStage::Fault;
+                res.error.message = m.id;
+                res.error.detail = res.violations.back();
+                return res;
+            }
+        }
+    }
+
     // Per-message checks: path validity, duration, window fit.
     for (std::size_t i = 0; i < bounds.messages.size(); ++i) {
         const MessageBounds &b = bounds.messages[i];
@@ -117,6 +159,23 @@ verifySchedule(const TaskFlowGraph &g, const Topology &topo,
                     g.message(wins[s].second).name +
                     "' overlap in " + str(wins[s - 1].first) +
                     " / " + str(wins[s].first));
+            }
+        }
+
+        // Derated-link duty bound (frame-level necessary condition):
+        // a link surviving at duty-cycle fraction f < 1 cannot be
+        // busy for more than f of the frame.
+        const double cap = topo.linkCapacity(l);
+        if (cap < 1.0) {
+            Time busy = 0.0;
+            for (const auto &[w, msg] : wins)
+                busy += w.length();
+            if (timeGt(busy, cap * omega.period)) {
+                std::ostringstream oss;
+                oss << "link " << l << ": busy " << busy
+                    << " us exceeds derated capacity " << cap
+                    << " x period";
+                res.fail(oss.str());
             }
         }
     }

@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "core/compile_error.hh"
 #include "core/schedule.hh"
 #include "core/time_bounds.hh"
 #include "mapping/allocation.hh"
@@ -43,6 +44,15 @@ struct VerifyResult
 {
     bool ok = true;
     std::vector<std::string> violations;
+
+    /**
+     * Structured description of the first *structural* failure: a
+     * schedule referencing a link id outside the topology or a
+     * resource removed by the fault mask. Such schedules cannot be
+     * checked further; the verifier reports the error loudly here
+     * instead of tripping an internal assertion downstream.
+     */
+    CompileError error;
 
     void
     fail(std::string why)

@@ -45,6 +45,8 @@ struct SegmentEvent
     Time start;
     Time end;
     bool last;              ///< final segment of the instance
+    /** Schedule this window came from (primary or degraded). */
+    const GlobalSchedule *sched;
 };
 
 /** Everything mutable during one simulateCps run. */
@@ -68,6 +70,8 @@ struct CpSimState
         Time until = -1.0;
         std::size_t msgIdx = SIZE_MAX;
         int invocation = -1;
+        /** Schedule the claimant executed (swap-transition id). */
+        const GlobalSchedule *sched = nullptr;
     };
     std::vector<LinkClaim> linkClaims;
 
@@ -95,6 +99,11 @@ struct CpSimState
 
     /** Dedup: violation key -> index into result.violations. */
     std::map<std::string, std::size_t> violationIdx;
+
+    /** Per link: absolute failure instant (+inf = never fails). */
+    std::vector<Time> linkFailAt;
+    /** Invocations that lost a message instance to a fault. */
+    std::vector<char> lostInv;
 
     // Observability (dormant unless the run is traced/metered).
     const bool tracing = SRSIM_TRACE_ENABLED();
@@ -137,6 +146,16 @@ struct CpSimState
             static_cast<std::size_t>(cfg.invocations));
         result.completions.assign(
             static_cast<std::size_t>(cfg.invocations), 0.0);
+        linkFailAt.assign(
+            static_cast<std::size_t>(topo.numLinks()),
+            std::numeric_limits<Time>::infinity());
+        for (const auto &f : cfg.linkFailures)
+            linkFailAt[static_cast<std::size_t>(f.first)] =
+                std::min(
+                    linkFailAt[static_cast<std::size_t>(f.first)],
+                    f.second);
+        lostInv.assign(
+            static_cast<std::size_t>(cfg.invocations), 0);
         if (metering) {
             auto &reg = metrics::Registry::global();
             violationCtr = &reg.counter("cpsim.violations");
@@ -192,15 +211,64 @@ struct CpSimState
 
     // ----- schedule construction -------------------------------
 
+    /**
+     * Schedule governing invocation j: the degraded Omega once the
+     * repaired node switching schedules have been distributed.
+     */
+    const GlobalSchedule &
+    schedFor(int j) const
+    {
+        if (cfg.degradedOmega &&
+            timeGe(j * omega.period, cfg.repairAt))
+            return *cfg.degradedOmega;
+        return omega;
+    }
+
+    /**
+     * Mark an invocation as lost to an injected fault. Lost
+     * invocations are expected damage: their remaining data checks
+     * are suppressed and their non-completion is reported in
+     * faultNotes rather than as a violation.
+     */
+    void
+    loseInstance(int j, const std::string &note)
+    {
+        ++result.droppedSegments;
+        if (tracing)
+            trace::faultEvent(note, eq.now());
+        if (lostInv[static_cast<std::size_t>(j)])
+            return;
+        lostInv[static_cast<std::size_t>(j)] = 1;
+        ++result.lostInvocations;
+        result.faultNotes.push_back(note);
+    }
+
+    /**
+     * First link of the path failed by time t: at or before t
+     * (window-start test), or strictly before t (window-end test —
+     * a link failing exactly at the end carried the whole window).
+     */
+    LinkId
+    deadLinkOn(const Path &p, Time t, bool strict = false) const
+    {
+        for (LinkId l : p.links) {
+            const Time at = linkFailAt[static_cast<std::size_t>(l)];
+            if (strict ? timeLt(at, t) : timeLe(at, t))
+                return l;
+        }
+        return -1;
+    }
+
     /** Absolute segment events of one message instance. */
     std::vector<SegmentEvent>
     instanceSegments(std::size_t msgIdx, int j) const
     {
+        const GlobalSchedule &sched = schedFor(j);
         const MessageBounds &b = bounds.messages[msgIdx];
         const Time release =
             j * omega.period + b.absoluteRelease;
         std::vector<SegmentEvent> out;
-        for (const TimeWindow &w : omega.segments[msgIdx]) {
+        for (const TimeWindow &w : sched.segments[msgIdx]) {
             const Time off = timeGe(w.start, b.release)
                                  ? w.start - b.release
                                  : w.start - b.release +
@@ -211,6 +279,7 @@ struct CpSimState
             ev.start = release + off;
             ev.end = ev.start + w.length();
             ev.last = false;
+            ev.sched = &sched;
             out.push_back(ev);
         }
         std::sort(out.begin(), out.end(),
@@ -249,7 +318,35 @@ struct CpSimState
                         segmentEnd(ev);
                     });
                     result.commandsExecuted +=
-                        omega.paths.pathFor(i).nodes.size();
+                        ev.sched->paths.pathFor(i).nodes.size();
+                }
+            }
+        }
+        // Fault instants as visible events.
+        for (const auto &f : cfg.linkFailures) {
+            const LinkId l = f.first;
+            const Time at = f.second;
+            eq.schedule(at, [this, l, at] {
+                if (tracing)
+                    trace::faultEvent(
+                        "link " + std::to_string(l) + " failed",
+                        at);
+            });
+        }
+        if (cfg.degradedOmega) {
+            for (int j = 0; j < cfg.invocations; ++j) {
+                const Time t = j * omega.period;
+                if (timeGe(t, cfg.repairAt)) {
+                    std::ostringstream oss;
+                    oss << "degraded schedule takes effect at "
+                        << "invocation " << j << " (t=" << t
+                        << ")";
+                    result.faultNotes.push_back(oss.str());
+                    eq.schedule(t, [this, note = oss.str()] {
+                        if (tracing)
+                            trace::faultEvent(note, eq.now());
+                    });
+                    break;
                 }
             }
         }
@@ -343,10 +440,21 @@ struct CpSimState
     {
         if (aborted)
             return;
-        const Path &p = omega.paths.pathFor(ev.msgIdx);
+        const Path &p = ev.sched->paths.pathFor(ev.msgIdx);
         const Message &m =
             g.message(bounds.messages[ev.msgIdx].msg);
         const Time dur = ev.end - ev.start;
+        // A window opening on a dead link is dropped whole: the CP
+        // commands execute but the chain never closes end-to-end.
+        if (const LinkId dead = deadLinkOn(p, ev.start);
+            dead >= 0) {
+            std::ostringstream oss;
+            oss << "message '" << m.name << "'@inv"
+                << ev.invocation << " dropped: link " << dead
+                << " dead at window start t=" << ev.start;
+            loseInstance(ev.invocation, oss.str());
+            return;
+        }
         if (tracing) {
             trace::msgWindowSpan(m.id, m.name, ev.invocation,
                                  ev.start, dur);
@@ -368,6 +476,21 @@ struct CpSimState
             if (timeLt(eq.now(), c.until) &&
                 !(c.msgIdx == ev.msgIdx &&
                   c.invocation == ev.invocation)) {
+                // Contention between an in-flight invocation of the
+                // old schedule and one of the new is reconfiguration
+                // damage, not a schedule bug: each schedule is only
+                // contention-free against itself. The colliding
+                // instance is lost, not a violation.
+                if (c.sched && c.sched != ev.sched) {
+                    std::ostringstream oss;
+                    oss << "message '" << m.name << "'@inv"
+                        << ev.invocation
+                        << " lost to schedule-swap transition "
+                        << "contention on link " << l << " at t="
+                        << eq.now();
+                    loseInstance(ev.invocation, oss.str());
+                    return;
+                }
                 std::ostringstream key;
                 key << "double-booked link " << l << " msg "
                     << ev.msgIdx << " vs " << c.msgIdx;
@@ -384,6 +507,7 @@ struct CpSimState
             c.until = ev.end;
             c.msgIdx = ev.msgIdx;
             c.invocation = ev.invocation;
+            c.sched = ev.sched;
         }
     }
 
@@ -395,6 +519,26 @@ struct CpSimState
         const std::size_t mi = miIdx(ev.msgIdx, ev.invocation);
         const Message &m =
             g.message(bounds.messages[ev.msgIdx].msg);
+
+        // A failure cutting through the window drops the in-flight
+        // flits; the instance is lost, not a schedule bug.
+        if (const LinkId dead =
+                deadLinkOn(ev.sched->paths.pathFor(ev.msgIdx),
+                           ev.end, /*strict=*/true);
+            dead >= 0 &&
+            !lostInv[static_cast<std::size_t>(ev.invocation)]) {
+            std::ostringstream oss;
+            oss << "message '" << m.name << "'@inv"
+                << ev.invocation << " lost in flight: link "
+                << dead << " failed during window ending t="
+                << ev.end;
+            loseInstance(ev.invocation, oss.str());
+            return;
+        }
+        // Lost invocations transmit garbage downstream of the
+        // break; suppress their data checks (expected damage).
+        if (lostInv[static_cast<std::size_t>(ev.invocation)])
+            return;
 
         // Premature-setup check: the data must have been in the
         // source CP's output buffer when the window opened.
@@ -471,6 +615,27 @@ simulateCps(const TaskFlowGraph &g, const Topology &topo,
         fatal("need more invocations than warmup");
     if (omega.segments.size() != bounds.messages.size())
         fatal("schedule does not match the time bounds");
+    for (const auto &f : cfg.linkFailures) {
+        if (f.first < 0 || f.first >= topo.numLinks())
+            fatal("link failure on link ", f.first,
+                  " outside the ", topo.numLinks(),
+                  "-link fabric");
+        if (f.second < 0.0)
+            fatal("link failure at negative time ", f.second);
+    }
+    if (cfg.degradedOmega) {
+        if (cfg.degradedOmega->segments.size() !=
+            bounds.messages.size())
+            fatal("degraded schedule does not match the time "
+                  "bounds");
+        if (timeLt(cfg.degradedOmega->period, omega.period) ||
+            timeGt(cfg.degradedOmega->period, omega.period))
+            fatal("degraded schedule period ",
+                  cfg.degradedOmega->period,
+                  " differs from the primary period ",
+                  omega.period,
+                  " (period-stretched swaps need a fresh run)");
+    }
 
     CpSimState st(g, topo, alloc, tm, bounds, omega, cfg);
     st.start();
@@ -478,11 +643,13 @@ simulateCps(const TaskFlowGraph &g, const Topology &topo,
 
     // Invocations that never completed (possible under injected
     // corruption) are reported, collapsed like any other repeated
-    // violation.
+    // violation. Invocations lost to an injected *fault* are
+    // expected damage, already explained in faultNotes.
     for (int j = 0; j < cfg.invocations; ++j) {
         if (st.result.completions[static_cast<std::size_t>(j)] <=
                 0.0 &&
-            !st.aborted) {
+            !st.aborted &&
+            !st.lostInv[static_cast<std::size_t>(j)]) {
             std::ostringstream oss;
             oss << "invocation " << j << " never completed";
             st.violation("never-completed", oss.str());

@@ -56,6 +56,29 @@ struct CpSimConfig
      * breaks (continuing collects every violation).
      */
     bool stopOnViolation = false;
+
+    // ----- fault injection -------------------------------------
+    /**
+     * Mid-run link deaths: link id -> absolute failure instant.
+     * From that instant the link carries nothing: a scheduled
+     * window starting on a dead link is dropped whole, and a
+     * window the failure cuts through loses its in-flight flits.
+     * Message instances touched either way are *lost*, not
+     * violations — they are reported in faultNotes / counted in
+     * lostInvocations so the run distinguishes injected damage
+     * from genuine schedule bugs.
+     */
+    std::vector<std::pair<LinkId, Time>> linkFailures;
+    /**
+     * Degraded-mode schedule to swap to (same period and message
+     * count as the primary Omega). Invocations whose release is at
+     * or after repairAt execute this schedule's windows and routes
+     * instead — modelling the moment the recompiled node switching
+     * schedules are distributed to the CPs.
+     */
+    const GlobalSchedule *degradedOmega = nullptr;
+    /** Absolute instant the degraded schedule takes effect. */
+    Time repairAt = 0.0;
 };
 
 /** Outcome of a CP-level run. */
@@ -80,6 +103,18 @@ struct CpSimResult
     std::uint64_t totalViolations = 0;
     /** Crossbar commands executed across all CPs. */
     std::uint64_t commandsExecuted = 0;
+
+    // ----- fault accounting ------------------------------------
+    /** Scheduled windows dropped or cut short by link failures. */
+    std::uint64_t droppedSegments = 0;
+    /** Invocations that lost at least one message to a fault. */
+    std::uint64_t lostInvocations = 0;
+    /**
+     * Human-readable fault consequences (first loss per
+     * invocation, schedule swap). Expected damage from injected
+     * faults lands here, never in violations.
+     */
+    std::vector<std::string> faultNotes;
 
     bool ok() const { return violations.empty(); }
 

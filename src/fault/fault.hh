@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Deterministic fault model for the interconnect fabric.
+ *
+ * A fault specification is a ';'- or ','-separated list of events:
+ *
+ *   link:A-B        fail the link between nodes A and B
+ *   link:#I         fail link id I
+ *   node:N          fail node N (and all its incident links)
+ *   derate:A-B=F    derate the A-B link to duty-cycle fraction F
+ *   derate:#I=F     derate link id I to fraction F
+ *   rand:K:S        fail K distinct live links drawn with seed S
+ *
+ * Any event may carry an "@T" suffix giving the absolute simulation
+ * time at which the fault strikes; events without a suffix are static
+ * (present from t = 0). Static application mutates only the
+ * topology's fault *mask* — the structural tables are untouched, so
+ * clearFaults() restores the healthy fabric.
+ *
+ * Parsing is split from resolution: parseFaultSpec() validates the
+ * grammar without a topology, resolveFaults() binds endpoint pairs
+ * and rand draws to concrete link ids on a given fabric. Both fail
+ * loudly (FatalError) on malformed or unresolvable input, so fuzz
+ * and CLI layers can surface clean diagnostics.
+ */
+
+#ifndef SRSIM_FAULT_FAULT_HH_
+#define SRSIM_FAULT_FAULT_HH_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topology/topology.hh"
+
+namespace srsim {
+namespace fault {
+
+/** One parsed fault event (pre-resolution). */
+struct FaultEvent
+{
+    enum class Kind { LinkFail, NodeFail, LinkDerate, RandLinks };
+
+    Kind kind = Kind::LinkFail;
+    NodeId a = kInvalidNode;  ///< link endpoint (endpoint form)
+    NodeId b = kInvalidNode;  ///< link endpoint (endpoint form)
+    LinkId link = kInvalidLink; ///< explicit link id ("#I" form)
+    NodeId node = kInvalidNode; ///< failed node (NodeFail)
+    double factor = 1.0;        ///< derate duty-cycle fraction
+    int count = 0;              ///< RandLinks: number of links
+    std::uint64_t seed = 0;     ///< RandLinks: draw seed
+    double at = 0.0;            ///< absolute strike time; 0 = static
+
+    bool timed() const { return at > 0.0; }
+};
+
+/** A parsed fault specification. */
+struct FaultSpec
+{
+    std::string raw;                ///< original spec text
+    std::vector<FaultEvent> events;
+
+    bool empty() const { return events.empty(); }
+
+    /** @return the spec in its original textual form. */
+    const std::string &str() const { return raw; }
+};
+
+/** Parse a fault spec; FatalError on malformed input. */
+FaultSpec parseFaultSpec(const std::string &spec);
+
+/**
+ * A fault event bound to concrete resources of one topology.
+ * RandLinks events expand into `count` LinkFail entries.
+ */
+struct ResolvedFault
+{
+    FaultEvent::Kind kind = FaultEvent::Kind::LinkFail;
+    LinkId link = kInvalidLink;
+    NodeId node = kInvalidNode;
+    double factor = 1.0;
+    double at = 0.0;
+
+    bool timed() const { return at > 0.0; }
+};
+
+/**
+ * Bind a spec's events to links/nodes of `topo`. Endpoint pairs must
+ * be adjacent, ids in range; rand draws pick distinct links
+ * deterministically from the seed. FatalError otherwise.
+ */
+std::vector<ResolvedFault> resolveFaults(const FaultSpec &spec,
+                                         const Topology &topo);
+
+/**
+ * Apply resolved faults to the topology's mask.
+ * @param includeTimed when false, only static (t = 0) events apply —
+ *        used when timed events are replayed by the simulator.
+ */
+void applyFaults(const std::vector<ResolvedFault> &faults,
+                 Topology &topo, bool includeTimed = true);
+
+/** Parse + resolve + apply static events in one step. */
+std::vector<ResolvedFault> applyFaultSpec(const std::string &spec,
+                                          Topology &topo,
+                                          bool includeTimed = true);
+
+} // namespace fault
+} // namespace srsim
+
+#endif // SRSIM_FAULT_FAULT_HH_

@@ -7,6 +7,7 @@
 #include "core/sr_executor.hh"
 #include "core/verifier.hh"
 #include "cpsim/cp_simulator.hh"
+#include "fault/fault.hh"
 #include "topology/factory.hh"
 #include "util/logging.hh"
 
@@ -41,6 +42,34 @@ RunResult
 runCaseInner(const FuzzCase &c, const RunOptions &opts)
 {
     const auto topo = makeTopology(c.topoSpec);
+
+    // Static faults degrade the fabric before compilation; all
+    // three oracles then judge the degraded fabric. A spec the
+    // fault layer rejects (or one with timed events, which need a
+    // mid-run simulation story, not a static compile) is outside
+    // the differential domain, not a harness failure.
+    if (!c.faultSpec.empty()) {
+        try {
+            const fault::FaultSpec fs =
+                fault::parseFaultSpec(c.faultSpec);
+            for (const fault::FaultEvent &ev : fs.events)
+                if (ev.timed()) {
+                    RunResult out;
+                    out.verdict = Verdict::InvalidCase;
+                    out.report = "timed fault events are outside "
+                                 "the differential domain";
+                    return out;
+                }
+            fault::applyFaultSpec(c.faultSpec, *topo);
+        } catch (const FatalError &e) {
+            RunResult out;
+            out.verdict = Verdict::InvalidCase;
+            out.report =
+                std::string("fault spec rejected: ") + e.what();
+            return out;
+        }
+    }
+
     const TaskAllocation alloc = c.makeAllocation(*topo);
     const SrCompilerConfig cfg = c.makeConfig();
 

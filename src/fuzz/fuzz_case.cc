@@ -67,6 +67,8 @@ writeFuzzCase(std::ostream &os, const FuzzCase &c)
     os << "assign-seed " << c.assignSeed << "\n";
     os << "max-restarts " << c.maxRestarts << "\n";
     os << "feedback-rounds " << c.feedbackRounds << "\n";
+    if (!c.faultSpec.empty())
+        os << "faults " << c.faultSpec << "\n";
     os << "tfg\n";
     writeTfg(os, c.g);
     for (TaskId t = 0; t < c.g.numTasks(); ++t) {
@@ -142,6 +144,11 @@ readFuzzCase(std::istream &is)
         } else if (key == "assign-seed") ls >> c.assignSeed;
         else if (key == "max-restarts") ls >> c.maxRestarts;
         else if (key == "feedback-rounds") ls >> c.feedbackRounds;
+        else if (key == "faults") {
+            ls >> c.faultSpec;
+            if (c.faultSpec.empty())
+                fatal("empty faults line in srsim-fuzz file");
+        }
         else if (key == "map") {
             std::string name;
             NodeId node = 0;

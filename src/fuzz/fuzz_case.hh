@@ -25,6 +25,7 @@
  *   assign-seed 7
  *   max-restarts 2
  *   feedback-rounds 0
+ *   faults link:#3;derate:#7=0.5     (optional; omitted = healthy)
  *   tfg
  *   srsim-tfg v1
  *   ...
@@ -73,6 +74,12 @@ struct FuzzCase
     std::uint64_t assignSeed = 1;
     int maxRestarts = 2;
     int feedbackRounds = 0;
+    /**
+     * Static fault spec (src/fault grammar) applied to the fabric
+     * before compiling; empty = healthy fabric. Timed events are
+     * outside the differential domain (InvalidCase).
+     */
+    std::string faultSpec;
 
     /** Allocation object for this case's task placement. */
     TaskAllocation makeAllocation(const Topology &topo) const;

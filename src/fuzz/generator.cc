@@ -143,6 +143,31 @@ generateCase(std::uint64_t seed)
     c.assignSeed = deriveSeed(seed, 1);
     c.maxRestarts = rng.uniformInt(0, 3);
     c.feedbackRounds = rng.uniformInt(0, 2);
+
+    // Fault dimension, drawn last so every healthy draw above is
+    // identical to the pre-fault generator for the same seed. Most
+    // cases stay healthy; faulted ones fail 1-2 links (and
+    // occasionally derate a third) so the compiler must either
+    // route around the damage or report a structured Fault/
+    // Infeasible result -- never crash.
+    if (rng.chance(0.3)) {
+        const int nlinks = topo->numLinks();
+        const int nfail = rng.uniformInt(1, 2);
+        std::string spec;
+        for (int i = 0; i < nfail; ++i) {
+            if (i)
+                spec += ";";
+            spec += "link:#" +
+                    std::to_string(rng.uniformInt(0, nlinks - 1));
+        }
+        if (rng.chance(0.2)) {
+            spec += ";derate:#" +
+                    std::to_string(
+                        rng.uniformInt(0, nlinks - 1)) +
+                    (rng.chance(0.5) ? "=0.5" : "=0.75");
+        }
+        c.faultSpec = spec;
+    }
     return c;
 }
 

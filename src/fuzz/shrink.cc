@@ -7,6 +7,42 @@ namespace fuzz {
 
 namespace {
 
+/** Textual fault events of a spec (split on ';' / ','). */
+std::vector<std::string>
+splitFaultEvents(const std::string &spec)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char ch : spec) {
+        if (ch == ';' || ch == ',') {
+            if (!cur.empty())
+                out.push_back(cur);
+            cur.clear();
+        } else {
+            cur += ch;
+        }
+    }
+    if (!cur.empty())
+        out.push_back(cur);
+    return out;
+}
+
+/** Rejoin events minus the one at `drop`. */
+std::string
+joinFaultEventsWithout(const std::vector<std::string> &events,
+                       std::size_t drop)
+{
+    std::string out;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        if (i == drop)
+            continue;
+        if (!out.empty())
+            out += ";";
+        out += events[i];
+    }
+    return out;
+}
+
 /**
  * Rebuild `c`'s graph keeping only the flagged tasks/messages.
  * Task and message ids are renumbered densely; the placement
@@ -112,7 +148,35 @@ shrinkCase(const FuzzCase &c, const StillFails &stillFails,
             }
         }
 
-        // Pass 3: knob simplifications (each only if the bug
+        // Pass 3: fault minimization -- first the whole spec (a bug
+        // that reproduces on the healthy fabric is not a fault
+        // bug), then one event at a time.
+        if (!best.faultSpec.empty()) {
+            FuzzCase cand = best;
+            cand.faultSpec.clear();
+            if (tryCase(cand)) {
+                ++st.knobsSimplified;
+                changed = true;
+            }
+        }
+        if (!best.faultSpec.empty()) {
+            for (std::size_t i =
+                     splitFaultEvents(best.faultSpec).size();
+                 i-- > 0;) {
+                const std::vector<std::string> events =
+                    splitFaultEvents(best.faultSpec);
+                if (events.size() <= 1 || i >= events.size())
+                    continue;
+                FuzzCase cand = best;
+                cand.faultSpec = joinFaultEventsWithout(events, i);
+                if (tryCase(cand)) {
+                    ++st.knobsSimplified;
+                    changed = true;
+                }
+            }
+        }
+
+        // Pass 4: knob simplifications (each only if the bug
         // survives without it).
         auto simplify = [&](auto mutate) {
             FuzzCase cand = best;

@@ -47,7 +47,7 @@ GeneralizedHypercube::name() const
 }
 
 int
-GeneralizedHypercube::distance(NodeId src, NodeId dst) const
+GeneralizedHypercube::distanceImpl(NodeId src, NodeId dst) const
 {
     checkNode(src);
     checkNode(dst);
@@ -89,7 +89,7 @@ GeneralizedHypercube::enumerate(std::vector<int> cur,
 }
 
 std::vector<Path>
-GeneralizedHypercube::minimalPaths(NodeId src, NodeId dst,
+GeneralizedHypercube::minimalPathsImpl(NodeId src, NodeId dst,
                                    std::size_t maxPaths) const
 {
     checkNode(src);
@@ -108,7 +108,7 @@ GeneralizedHypercube::minimalPaths(NodeId src, NodeId dst,
 }
 
 Path
-GeneralizedHypercube::routeLsdToMsd(NodeId src, NodeId dst) const
+GeneralizedHypercube::routeLsdToMsdImpl(NodeId src, NodeId dst) const
 {
     checkNode(src);
     checkNode(dst);

@@ -36,7 +36,7 @@ Mesh::name() const
 }
 
 int
-Mesh::distance(NodeId src, NodeId dst) const
+Mesh::distanceImpl(NodeId src, NodeId dst) const
 {
     checkNode(src);
     checkNode(dst);
@@ -80,7 +80,7 @@ Mesh::enumerate(std::vector<int> cur, std::vector<Walk> walks,
 }
 
 std::vector<Path>
-Mesh::minimalPaths(NodeId src, NodeId dst, std::size_t maxPaths) const
+Mesh::minimalPathsImpl(NodeId src, NodeId dst, std::size_t maxPaths) const
 {
     checkNode(src);
     checkNode(dst);
@@ -102,7 +102,7 @@ Mesh::minimalPaths(NodeId src, NodeId dst, std::size_t maxPaths) const
 }
 
 Path
-Mesh::routeLsdToMsd(NodeId src, NodeId dst) const
+Mesh::routeLsdToMsdImpl(NodeId src, NodeId dst) const
 {
     checkNode(src);
     checkNode(dst);

@@ -26,15 +26,16 @@ class Mesh : public Topology
 
     std::string name() const override;
 
-    int distance(NodeId src, NodeId dst) const override;
+    const MixedRadix &addressing() const { return addr_; }
+
+  protected:
+    int distanceImpl(NodeId src, NodeId dst) const override;
 
     std::vector<Path>
-    minimalPaths(NodeId src, NodeId dst,
-                 std::size_t maxPaths = 0) const override;
+    minimalPathsImpl(NodeId src, NodeId dst,
+                     std::size_t maxPaths) const override;
 
-    Path routeLsdToMsd(NodeId src, NodeId dst) const override;
-
-    const MixedRadix &addressing() const { return addr_; }
+    Path routeLsdToMsdImpl(NodeId src, NodeId dst) const override;
 
   private:
     /** One in-progress dimension walk during path enumeration. */

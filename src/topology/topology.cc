@@ -1,6 +1,7 @@
 #include "topology/topology.hh"
 
 #include <deque>
+#include <functional>
 
 #include "util/logging.hh"
 
@@ -43,7 +44,7 @@ Topology::linkBetween(NodeId a, NodeId b) const
 }
 
 int
-Topology::distance(NodeId src, NodeId dst) const
+Topology::distanceImpl(NodeId src, NodeId dst) const
 {
     checkNode(src);
     checkNode(dst);
@@ -67,6 +68,222 @@ Topology::distance(NodeId src, NodeId dst) const
     }
     panic("topology ", name(), " is disconnected between ", src,
           " and ", dst);
+}
+
+int
+Topology::distance(NodeId src, NodeId dst) const
+{
+    if (!degraded_)
+        return distanceImpl(src, dst);
+    checkNode(src);
+    checkNode(dst);
+    const std::vector<int> lvl = maskedLevels(src);
+    const int d = lvl[static_cast<std::size_t>(dst)];
+    if (d < 0)
+        panic("degraded topology ", name(),
+              " is disconnected between ", src, " and ", dst);
+    return d;
+}
+
+std::vector<Path>
+Topology::minimalPaths(NodeId src, NodeId dst,
+                       std::size_t maxPaths) const
+{
+    if (!degraded_)
+        return minimalPathsImpl(src, dst, maxPaths);
+    return maskedMinimalPaths(src, dst, maxPaths);
+}
+
+Path
+Topology::routeLsdToMsd(NodeId src, NodeId dst) const
+{
+    if (!degraded_)
+        return routeLsdToMsdImpl(src, dst);
+    const Path analytic = routeLsdToMsdImpl(src, dst);
+    if (pathAlive(analytic))
+        return analytic;
+    std::vector<Path> masked = maskedMinimalPaths(src, dst, 1);
+    if (masked.empty())
+        return Path{}; // disconnected by faults
+    return masked.front();
+}
+
+std::vector<int>
+Topology::maskedLevels(NodeId src) const
+{
+    std::vector<int> dist(static_cast<std::size_t>(numNodes()), -1);
+    if (!nodeUp(src))
+        return dist;
+    std::deque<NodeId> queue{src};
+    dist[static_cast<std::size_t>(src)] = 0;
+    while (!queue.empty()) {
+        NodeId u = queue.front();
+        queue.pop_front();
+        for (LinkId l : linksAt(u)) {
+            if (!linkUp(l))
+                continue;
+            const NodeId v = link(l).other(u);
+            if (!nodeUp(v))
+                continue;
+            auto &d = dist[static_cast<std::size_t>(v)];
+            if (d < 0) {
+                d = dist[static_cast<std::size_t>(u)] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    return dist;
+}
+
+std::vector<Path>
+Topology::maskedMinimalPaths(NodeId src, NodeId dst,
+                             std::size_t maxPaths) const
+{
+    checkNode(src);
+    checkNode(dst);
+    std::vector<Path> out;
+    if (!nodeUp(src) || !nodeUp(dst))
+        return out;
+    if (src == dst) {
+        Path p;
+        p.nodes.push_back(src);
+        out.push_back(std::move(p));
+        return out;
+    }
+    const std::vector<int> lvl = maskedLevels(src);
+    if (lvl[static_cast<std::size_t>(dst)] < 0)
+        return out;
+
+    // Depth-first enumeration along strictly level-increasing live
+    // links, in adjacency order: deterministic regardless of which
+    // faults produced the mask.
+    std::vector<NodeId> nodes{src};
+    std::function<void(NodeId)> walk = [&](NodeId u) {
+        if (maxPaths != 0 && out.size() >= maxPaths)
+            return;
+        if (u == dst) {
+            out.push_back(makePath(nodes));
+            return;
+        }
+        for (LinkId l : linksAt(u)) {
+            if (!linkUp(l))
+                continue;
+            const NodeId v = link(l).other(u);
+            if (!nodeUp(v))
+                continue;
+            if (lvl[static_cast<std::size_t>(v)] !=
+                lvl[static_cast<std::size_t>(u)] + 1)
+                continue;
+            nodes.push_back(v);
+            walk(v);
+            nodes.pop_back();
+            if (maxPaths != 0 && out.size() >= maxPaths)
+                return;
+        }
+    };
+    walk(src);
+    return out;
+}
+
+bool
+Topology::linkUp(LinkId l) const
+{
+    SRSIM_ASSERT(l >= 0 && l < numLinks(), "bad link id ", l);
+    return !degraded_ || linkUp_[static_cast<std::size_t>(l)] != 0;
+}
+
+bool
+Topology::nodeUp(NodeId n) const
+{
+    checkNode(n);
+    return !degraded_ || nodeUp_[static_cast<std::size_t>(n)] != 0;
+}
+
+double
+Topology::linkCapacity(LinkId l) const
+{
+    SRSIM_ASSERT(l >= 0 && l < numLinks(), "bad link id ", l);
+    if (!degraded_)
+        return 1.0;
+    if (linkUp_[static_cast<std::size_t>(l)] == 0)
+        return 0.0;
+    return linkCap_[static_cast<std::size_t>(l)];
+}
+
+int
+Topology::numLiveLinks() const
+{
+    if (!degraded_)
+        return numLinks();
+    int n = 0;
+    for (LinkId l = 0; l < numLinks(); ++l)
+        if (linkUp_[static_cast<std::size_t>(l)] != 0)
+            ++n;
+    return n;
+}
+
+void
+Topology::failLink(LinkId l)
+{
+    SRSIM_ASSERT(l >= 0 && l < numLinks(), "bad link id ", l);
+    ensureMask();
+    linkUp_[static_cast<std::size_t>(l)] = 0;
+}
+
+void
+Topology::failNode(NodeId n)
+{
+    checkNode(n);
+    ensureMask();
+    nodeUp_[static_cast<std::size_t>(n)] = 0;
+    for (LinkId l : linksAt(n))
+        linkUp_[static_cast<std::size_t>(l)] = 0;
+}
+
+void
+Topology::derateLink(LinkId l, double f)
+{
+    SRSIM_ASSERT(l >= 0 && l < numLinks(), "bad link id ", l);
+    SRSIM_ASSERT(f > 0.0 && f <= 1.0, "derate factor ", f,
+                 " outside (0,1]");
+    ensureMask();
+    linkCap_[static_cast<std::size_t>(l)] = f;
+}
+
+void
+Topology::clearFaults()
+{
+    degraded_ = false;
+    linkUp_.clear();
+    nodeUp_.clear();
+    linkCap_.clear();
+}
+
+void
+Topology::ensureMask()
+{
+    if (degraded_)
+        return;
+    degraded_ = true;
+    linkUp_.assign(static_cast<std::size_t>(numLinks()), 1);
+    nodeUp_.assign(static_cast<std::size_t>(numNodes()), 1);
+    linkCap_.assign(static_cast<std::size_t>(numLinks()), 1.0);
+}
+
+bool
+Topology::pathAlive(const Path &p) const
+{
+    if (!validPath(p))
+        return false;
+    if (!degraded_)
+        return true;
+    for (NodeId n : p.nodes)
+        if (!nodeUp(n))
+            return false;
+    for (LinkId l : p.links)
+        if (!linkUp(l))
+            return false;
+    return true;
 }
 
 Path

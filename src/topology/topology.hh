@@ -76,41 +76,127 @@ class Topology
         return static_cast<int>(linksAt(n).size());
     }
 
-    /** Hop distance between two nodes. Default: BFS. */
-    virtual int distance(NodeId src, NodeId dst) const;
+    /**
+     * Hop distance between two nodes over the *surviving* fabric.
+     * On a healthy topology this dispatches to the subclass's
+     * analytic distance; on a degraded one it runs a masked BFS.
+     * Panics when src and dst are disconnected (same contract in
+     * both modes).
+     */
+    int distance(NodeId src, NodeId dst) const;
 
     /**
-     * Enumerate minimal (shortest) paths from src to dst.
+     * Enumerate minimal (shortest) paths from src to dst over the
+     * surviving fabric. Healthy topologies use the subclass's
+     * analytic enumeration; degraded ones enumerate shortest paths
+     * by masked BFS, skipping failed links and nodes. Returns an
+     * empty vector when the pair is disconnected by faults.
      * @param maxPaths cap on the number of paths returned (0 = no cap)
      */
-    virtual std::vector<Path>
+    std::vector<Path>
     minimalPaths(NodeId src, NodeId dst, std::size_t maxPaths = 0)
-        const = 0;
+        const;
 
     /**
      * The deterministic routing-function path, correcting the address
      * from least-significant dimension to most-significant (the
      * "LSD-to-MSD" route of Sec. 5.1; e-cube / dimension-order).
+     * On a degraded topology, falls back to the first masked minimal
+     * path when the analytic route crosses a failed resource, and
+     * returns an empty Path when disconnected.
      */
-    virtual Path routeLsdToMsd(NodeId src, NodeId dst) const = 0;
+    Path routeLsdToMsd(NodeId src, NodeId dst) const;
 
     /**
      * Build a Path from a node sequence, resolving link ids.
-     * Panics if consecutive nodes are not adjacent.
+     * Purely structural (ignores the fault mask). Panics if
+     * consecutive nodes are not adjacent.
      */
     Path makePath(const std::vector<NodeId> &nodes) const;
 
-    /** @return true if p is a contiguous route with valid link ids. */
+    /**
+     * @return true if p is a contiguous route with valid link ids.
+     * Purely structural; use pathAlive() for fault-mask liveness.
+     */
     bool validPath(const Path &p) const;
+
+    // ---- fault mask -------------------------------------------------
+    //
+    // Links and nodes can be failed (removed from the surviving
+    // fabric) or links derated (capacity reduced to a duty-cycle
+    // fraction f in (0,1]). The structural tables are never mutated;
+    // the mask only changes what the routing queries above return and
+    // what pathAlive()/linkCapacity() report.
+
+    /** @return true once any fault has been applied. */
+    bool degraded() const { return degraded_; }
+
+    /** @return true if link l has not been failed. */
+    bool linkUp(LinkId l) const;
+
+    /** @return true if node n has not been failed. */
+    bool nodeUp(NodeId n) const;
+
+    /**
+     * Duty-cycle capacity of link l: 1 when healthy, f in (0,1) when
+     * derated, 0 when failed.
+     */
+    double linkCapacity(LinkId l) const;
+
+    /** Number of links still up. */
+    int numLiveLinks() const;
+
+    /** Remove link l from the surviving fabric. */
+    void failLink(LinkId l);
+
+    /** Remove node n and all its incident links. */
+    void failNode(NodeId n);
+
+    /** Derate link l to duty-cycle fraction f in (0,1]. */
+    void derateLink(LinkId l, double f);
+
+    /** Restore the healthy fabric (all links/nodes up, capacity 1). */
+    void clearFaults();
+
+    /**
+     * @return true if every node and link of p survives the fault
+     * mask (p must also be structurally valid).
+     */
+    bool pathAlive(const Path &p) const;
 
   protected:
     void setNumNodes(int n);
     void addLink(NodeId a, NodeId b);
     void checkNode(NodeId n) const;
 
+    /** Analytic hop distance on the *healthy* fabric. Default: BFS. */
+    virtual int distanceImpl(NodeId src, NodeId dst) const;
+
+    /** Analytic minimal-path enumeration on the healthy fabric. */
+    virtual std::vector<Path>
+    minimalPathsImpl(NodeId src, NodeId dst,
+                     std::size_t maxPaths) const = 0;
+
+    /** Analytic LSD-to-MSD route on the healthy fabric. */
+    virtual Path routeLsdToMsdImpl(NodeId src, NodeId dst) const = 0;
+
   private:
+    /** Lazily allocate the mask arrays on the first fault. */
+    void ensureMask();
+
+    /** BFS levels over the surviving fabric; -1 = unreachable. */
+    std::vector<int> maskedLevels(NodeId src) const;
+
+    std::vector<Path>
+    maskedMinimalPaths(NodeId src, NodeId dst,
+                       std::size_t maxPaths) const;
+
     std::vector<Link> links_;
     std::vector<std::vector<LinkId>> adjacency_;
+    std::vector<char> linkUp_;
+    std::vector<char> nodeUp_;
+    std::vector<double> linkCap_;
+    bool degraded_ = false;
 };
 
 } // namespace srsim

@@ -71,7 +71,7 @@ Torus::moves(NodeId src, NodeId dst) const
 }
 
 int
-Torus::distance(NodeId src, NodeId dst) const
+Torus::distanceImpl(NodeId src, NodeId dst) const
 {
     checkNode(src);
     checkNode(dst);
@@ -114,7 +114,7 @@ Torus::enumerate(std::vector<int> cur, std::vector<Walk> walks,
 }
 
 std::vector<Path>
-Torus::minimalPaths(NodeId src, NodeId dst, std::size_t maxPaths) const
+Torus::minimalPathsImpl(NodeId src, NodeId dst, std::size_t maxPaths) const
 {
     checkNode(src);
     checkNode(dst);
@@ -149,7 +149,7 @@ Torus::minimalPaths(NodeId src, NodeId dst, std::size_t maxPaths) const
 }
 
 Path
-Torus::routeLsdToMsd(NodeId src, NodeId dst) const
+Torus::routeLsdToMsdImpl(NodeId src, NodeId dst) const
 {
     checkNode(src);
     checkNode(dst);

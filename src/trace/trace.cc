@@ -409,6 +409,13 @@ violation(const std::string &what, double ts)
 }
 
 void
+faultEvent(const std::string &what, double ts)
+{
+    emit(EventType::Instant, TrackKind::Sim, 0, "fault", "fault",
+         ts, 0.0, -1, -1, what);
+}
+
+void
 deadlock(const std::string &cycle, double ts)
 {
     emit(EventType::Instant, TrackKind::Sim, 0, "deadlock",

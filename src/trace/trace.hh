@@ -210,6 +210,8 @@ void taskSpan(std::int32_t node, const std::string &taskName,
               std::int32_t inv, double ts, double dur);
 void invocationComplete(std::int32_t inv, double ts);
 void violation(const std::string &what, double ts);
+/** Injected fault taking effect (link death, schedule swap, drop). */
+void faultEvent(const std::string &what, double ts);
 void deadlock(const std::string &cycle, double ts);
 
 } // namespace trace

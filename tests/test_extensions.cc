@@ -441,7 +441,9 @@ TEST(ScheduleIoTest, RejectsNonAdjacentPath)
        << "  0 10\n"
        << "end\n";
     const auto cube = GeneralizedHypercube::binaryCube(2);
-    EXPECT_THROW(readSchedule(ss, cube), PanicError);
+    // A bad file is user input, not an internal invariant: it must
+    // fail loudly as a structured FatalError, never a panic/assert.
+    EXPECT_THROW(readSchedule(ss, cube), FatalError);
 }
 
 } // namespace

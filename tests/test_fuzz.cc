@@ -46,6 +46,7 @@ TEST(FuzzCaseTest, RoundTripsThroughText)
     EXPECT_EQ(d.assignSeed, c.assignSeed);
     EXPECT_EQ(d.maxRestarts, c.maxRestarts);
     EXPECT_EQ(d.feedbackRounds, c.feedbackRounds);
+    EXPECT_EQ(d.faultSpec, c.faultSpec);
 
     // The round-tripped case must run to the same verdict.
     fuzz::RunOptions opts;
@@ -116,6 +117,33 @@ TEST(FuzzShrinkTest, RemovesIrrelevantStructure)
     EXPECT_GT(st.evaluations, 0u);
     EXPECT_EQ(min.taskNode.size(),
               static_cast<std::size_t>(min.g.numTasks()));
+}
+
+TEST(FuzzShrinkTest, ClearsFaultSpecWhenFaultsAreIrrelevant)
+{
+    // Predicate ignores the fault spec entirely, so the shrinker's
+    // fault pass must strip it from the minimized case.
+    fuzz::FuzzCase c = fuzz::generateCase(3);
+    c.faultSpec = "link:#0;derate:#1=0.5";
+    const fuzz::FuzzCase min = fuzz::shrinkCase(
+        c, [](const fuzz::FuzzCase &) { return true; }, 400);
+    EXPECT_TRUE(min.faultSpec.empty())
+        << "kept fault spec: " << min.faultSpec;
+}
+
+TEST(FuzzGeneratorTest, SomeSeedsCarryFaultSpecs)
+{
+    // The fault dimension must actually be exercised: over a window
+    // of seeds, some cases inject faults and some stay healthy.
+    std::size_t faulty = 0, healthy = 0;
+    for (std::uint64_t seed = 0; seed < 40; ++seed) {
+        if (fuzz::generateCase(seed).faultSpec.empty())
+            ++healthy;
+        else
+            ++faulty;
+    }
+    EXPECT_GT(faulty, 0u);
+    EXPECT_GT(healthy, 0u);
 }
 
 TEST(FuzzShrinkTest, ReturnsOriginalWhenNothingRemovable)

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * regen_golden — refresh the golden conformance corpus.
+ *
+ *   regen_golden [DIR]
+ *
+ * Recompiles every case of the conformance table (see
+ * tests/golden_cases.hh) and rewrites DIR/<name>.sched (default:
+ * tests/golden relative to the current directory). Run this ONLY
+ * after an intentional change to compiler or repair output, then
+ * review the diff like any other source change — the checked-in
+ * bytes are the conformance contract that `ctest -L golden`
+ * enforces.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "golden_cases.hh"
+
+int
+main(int argc, char **argv)
+{
+    const std::string dir = argc > 1 ? argv[1] : "tests/golden";
+    try {
+        for (const auto &gc : srsim::golden::goldenCases()) {
+            const std::string text =
+                srsim::golden::compileGoldenCase(gc);
+            const std::string path =
+                dir + "/" + gc.name + ".sched";
+            std::ofstream out(path);
+            if (!out) {
+                std::cerr << "cannot write '" << path << "'\n";
+                return 1;
+            }
+            out << text;
+            std::cout << path << ": " << text.size()
+                      << " bytes\n";
+        }
+    } catch (const srsim::FatalError &e) {
+        std::cerr << "regen_golden: " << e.what() << "\n";
+        return 1;
+    }
+    return 0;
+}

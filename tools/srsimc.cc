@@ -12,9 +12,14 @@
  *           [--alloc greedy|random|rr:<stride>|coupled]
  *           [--feedback N] [--guard T] [--seed S]
  *           [--out omega.txt] [--svg omega.svg]
- *           [--node-schedules]
+ *           [--node-schedules] [--faults SPEC]
  *       Compile a contention-free switching schedule; optionally
  *       write it to a file and print the per-node command lists.
+ *       With --faults, degrade the fabric after the healthy compile
+ *       (e.g. "link:3-7;derate:#12=0.5", see src/fault/fault.hh)
+ *       and repair the schedule against the surviving topology,
+ *       reporting per-message fates; --out then writes the repaired
+ *       (v2) schedule.
  *
  *   srsimc simulate --tfg app.tfg --topo torus:8,8 --period 100
  *           [--bandwidth 64] [--ap-speed 38.5] [--alloc ...]
@@ -39,6 +44,8 @@
 #include "core/sr_compiler.hh"
 #include "core/sr_executor.hh"
 #include "cpsim/cp_simulator.hh"
+#include "fault/fault.hh"
+#include "fault/repair.hh"
 #include "mapping/allocation.hh"
 #include "metrics/metrics.hh"
 #include "tfg/tfg_io.hh"
@@ -84,6 +91,7 @@ usage()
         "         [--bandwidth B] [--ap-speed S] [--alloc KIND]\n"
         "         [--feedback N] [--guard T] [--seed S]\n"
         "         [--out FILE] [--svg FILE] [--node-schedules]\n"
+        "         [--faults SPEC]\n"
         "         [--trace FILE] [--trace-format chrome|csv]\n"
         "         [--metrics FILE]\n"
         "  srsimc simulate --tfg FILE --topo SPEC --period US\n"
@@ -259,11 +267,59 @@ cmdCompile(const Options &opts)
               << "latency:    " << ex.latencies(5).mean()
               << " us\n";
 
+    // Degraded-mode repair: strike the fabric, reschedule on the
+    // survivors, report what each message's deadline suffered.
+    const GlobalSchedule *outOmega = &r.omega;
+    fault::RepairResult rep;
+    if (opts.has("faults")) {
+        const std::string spec = opts.str("faults");
+        fault::applyFaultSpec(spec, *topo);
+        fault::RepairOptions ropts;
+        ropts.faultSpec = spec;
+        rep = fault::repairSchedule(g, *topo, alloc, tm, cfg, r,
+                                    ropts);
+        std::cout << "faults: " << spec << " ("
+                  << topo->numLiveLinks() << "/" << topo->numLinks()
+                  << " links live)\n";
+        if (!rep.feasible) {
+            std::cout << "degraded-mode repair FAILED: "
+                      << rep.detail << "\n";
+            writeObservability(opts);
+            return 1;
+        }
+        int nFate[4] = {0, 0, 0, 0};
+        for (fault::MessageFate f : rep.fates)
+            ++nFate[static_cast<int>(f)];
+        std::cout << "repair: "
+                  << (rep.usedIncremental ? "incremental"
+                                          : "full recompile")
+                  << ", subsets re-solved " << rep.subsetsResolved
+                  << "/" << rep.subsetsTotal
+                  << ", degraded period " << rep.degradedPeriod
+                  << " us"
+                  << (rep.omega.degradedFrom > 0.0 ? " (stretched)"
+                                                   : "")
+                  << "\n"
+                  << "fates: " << nFate[0] << " survived, "
+                  << nFate[1] << " rerouted, " << nFate[2]
+                  << " degraded, " << nFate[3] << " shed\n";
+        for (MessageId m = 0;
+             m < static_cast<MessageId>(rep.fates.size()); ++m) {
+            const fault::MessageFate f =
+                rep.fates[static_cast<std::size_t>(m)];
+            if (f != fault::MessageFate::Survived)
+                std::cout << "  message '" << g.message(m).name
+                          << "': " << fault::messageFateName(f)
+                          << "\n";
+        }
+        outOmega = &rep.omega;
+    }
+
     if (opts.has("out")) {
         std::ofstream out(opts.str("out"));
         if (!out)
             fatal("cannot write '", opts.str("out"), "'");
-        writeSchedule(out, r.omega);
+        writeSchedule(out, *outOmega);
         std::cout << "schedule written to " << opts.str("out")
                   << "\n";
     }
