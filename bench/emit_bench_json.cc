@@ -16,13 +16,17 @@
 #include <string>
 #include <vector>
 
+#include <algorithm>
+
 #include "core/sr_compiler.hh"
 #include "cpsim/cp_simulator.hh"
 #include "exp/experiment.hh"
 #include "mapping/allocation.hh"
 #include "metrics/metrics.hh"
+#include "online/service.hh"
 #include "tfg/dvb.hh"
 #include "tfg/timing.hh"
+#include "topology/factory.hh"
 #include "topology/generalized_hypercube.hh"
 #include "util/json.hh"
 #include "wormhole/wormhole.hh"
@@ -127,6 +131,125 @@ main(int argc, char **argv)
     records.push_back(runScenario("utilization_sweep", [&] {
         ExperimentConfig cfg;
         runUtilizationExperiment(s.g, s.cube, s.alloc, s.tm, cfg);
+    }));
+
+    // Online service: the fig10 torus workload absorbing skip-edge
+    // admissions. The online.* counters (subsets copied vs
+    // re-solved, cache hits) land in the snapshot automatically;
+    // the derived latency percentiles are recorded as bench.*
+    // counters in microseconds.
+    const auto onlineSetup = [] {
+        struct
+        {
+            DvbParams dvb;
+            TaskFlowGraph g;
+            TimingModel tm;
+        } o;
+        o.g = buildDvbTfg(o.dvb);
+        o.tm.apSpeed = o.dvb.matchedApSpeed();
+        o.tm.bandwidth = 128.0;
+        return o;
+    };
+    const auto pctUs = [](std::vector<double> ms, double p) {
+        std::sort(ms.begin(), ms.end());
+        const double rank =
+            p / 100.0 * static_cast<double>(ms.size() - 1);
+        const std::size_t lo = static_cast<std::size_t>(rank);
+        const std::size_t hi = std::min(lo + 1, ms.size() - 1);
+        const double v = ms[lo] + (rank - static_cast<double>(lo)) *
+                                      (ms[hi] - ms[lo]);
+        return static_cast<std::uint64_t>(1000.0 * v);
+    };
+    const std::vector<std::pair<const char *, const char *>> skips =
+        {{"match", "probe"},
+         {"hough", "extend"},
+         {"probe", "verify"},
+         {"extend", "filter"}};
+
+    records.push_back(runScenario("online_churn_incremental", [&] {
+        auto o = onlineSetup();
+        const auto topo = makeTopology("torus:4,4,4");
+        const TaskAllocation alloc =
+            alloc::roundRobin(o.g, *topo, 13);
+        online::OnlineSchedulerConfig scfg;
+        scfg.compiler.inputPeriod = 2.4 * o.tm.tauC(o.g);
+        scfg.cacheCapacity = 0; // every admit is a real re-solve
+        online::OnlineScheduler svc(o.g, makeTopology("torus:4,4,4"),
+                                    alloc, o.tm, scfg);
+        svc.start();
+        std::vector<double> ms;
+        for (std::size_t r = 0; r < 8; ++r) {
+            online::AdmitSpec spec;
+            spec.name = "bench" + std::to_string(r);
+            spec.src = skips[r % skips.size()].first;
+            spec.dst = skips[r % skips.size()].second;
+            spec.bytes = 128.0 + 16.0 * static_cast<double>(r);
+            const online::RequestResult res = svc.admit(spec);
+            if (res.accepted)
+                ms.push_back(res.latencyMs);
+            svc.remove(spec.name);
+        }
+        auto &reg = metrics::Registry::global();
+        if (!ms.empty()) {
+            reg.counter("bench.online.admit_p50_us")
+                .add(pctUs(ms, 50.0));
+            reg.counter("bench.online.admit_p95_us")
+                .add(pctUs(ms, 95.0));
+        }
+    }));
+
+    records.push_back(
+        runScenario("online_churn_full_recompile", [&] {
+            auto o = onlineSetup();
+            const auto topo = makeTopology("torus:4,4,4");
+            const TaskAllocation alloc =
+                alloc::roundRobin(o.g, *topo, 13);
+            SrCompilerConfig cfg;
+            cfg.inputPeriod = 2.4 * o.tm.tauC(o.g);
+            for (std::size_t r = 0; r < 8; ++r) {
+                TaskFlowGraph g2 = o.g;
+                TaskId src = kInvalidTask, dst = kInvalidTask;
+                for (TaskId t = 0; t < g2.numTasks(); ++t) {
+                    if (g2.task(t).name == skips[r % skips.size()]
+                                               .first)
+                        src = t;
+                    if (g2.task(t).name == skips[r % skips.size()]
+                                               .second)
+                        dst = t;
+                }
+                g2.addMessage("bench" + std::to_string(r), src,
+                              dst,
+                              128.0 + 16.0 * static_cast<double>(r));
+                compileScheduledRouting(g2, *topo, alloc, o.tm,
+                                        cfg);
+            }
+        }));
+
+    records.push_back(runScenario("online_churn_cache", [&] {
+        auto o = onlineSetup();
+        const auto topo = makeTopology("torus:4,4,4");
+        const TaskAllocation alloc =
+            alloc::roundRobin(o.g, *topo, 13);
+        online::OnlineSchedulerConfig scfg;
+        scfg.compiler.inputPeriod = 2.4 * o.tm.tauC(o.g);
+        online::OnlineScheduler svc(o.g, makeTopology("torus:4,4,4"),
+                                    alloc, o.tm, scfg);
+        svc.start();
+        online::AdmitSpec spec;
+        spec.name = "hot";
+        spec.src = "probe";
+        spec.dst = "verify";
+        spec.bytes = 256.0;
+        for (int r = 0; r < 8; ++r) {
+            svc.admit(spec);
+            svc.remove(spec.name);
+        }
+        auto &reg = metrics::Registry::global();
+        const std::uint64_t total =
+            svc.cache().hits() + svc.cache().misses();
+        if (total > 0)
+            reg.counter("bench.online.cache_hit_rate_pct")
+                .add(100 * svc.cache().hits() / total);
     }));
 
     std::ofstream out(out_path);

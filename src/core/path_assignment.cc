@@ -349,4 +349,60 @@ assignPaths(const TaskFlowGraph &g, const Topology &topo,
     return result;
 }
 
+GreedyRouteResult
+greedyRouteMessages(const TaskFlowGraph &g, const Topology &topo,
+                    const TaskAllocation &alloc,
+                    const TimeBounds &bounds,
+                    const IntervalSet &intervals,
+                    const std::vector<std::size_t> &indices,
+                    std::size_t maxPathsPerMessage,
+                    PathAssignment &pa)
+{
+    GreedyRouteResult out;
+    UtilizationAnalyzer ua(bounds, intervals, topo);
+
+    // Phase 1: every listed message takes its first surviving
+    // minimal path, so phase 2 scores candidates against a complete
+    // assignment.
+    std::vector<std::vector<Path>> cands(indices.size());
+    for (std::size_t j = 0; j < indices.size(); ++j) {
+        const std::size_t i = indices[j];
+        const Message &m = g.message(bounds.messages[i].msg);
+        cands[j] = topo.minimalPaths(alloc.nodeOf(m.src),
+                                     alloc.nodeOf(m.dst),
+                                     maxPathsPerMessage);
+        if (cands[j].empty()) {
+            out.failedMessage = m.id;
+            out.error = "no surviving minimal path between node " +
+                        std::to_string(alloc.nodeOf(m.src)) +
+                        " and node " +
+                        std::to_string(alloc.nodeOf(m.dst)) +
+                        " for message '" + m.name + "'";
+            return out;
+        }
+        pa.paths[i] = cands[j].front();
+    }
+
+    // Phase 2: in list order, keep the candidate minimizing the
+    // peak utilization with all other routes fixed.
+    for (std::size_t j = 0; j < indices.size(); ++j) {
+        const std::size_t i = indices[j];
+        std::size_t best = 0;
+        double best_peak = 0.0;
+        for (std::size_t c = 0; c < cands[j].size(); ++c) {
+            pa.paths[i] = cands[j][c];
+            const double peak = ua.analyze(pa).peak;
+            if (c == 0 || peak < best_peak - 1e-12) {
+                best = c;
+                best_peak = peak;
+            }
+        }
+        pa.paths[i] = cands[j][best];
+    }
+
+    out.ok = true;
+    out.report = ua.analyze(pa);
+    return out;
+}
+
 } // namespace srsim

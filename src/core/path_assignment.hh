@@ -158,6 +158,37 @@ struct AssignPathsResult
     std::string error;
 };
 
+/** Outcome of greedyRouteMessages(). */
+struct GreedyRouteResult
+{
+    /** False when some message has no surviving minimal path. */
+    bool ok = false;
+    MessageId failedMessage = kInvalidMessage;
+    std::string error;
+    /** Peak utilization of the final assignment. */
+    UtilizationReport report;
+};
+
+/**
+ * Route the given message indices greedily without a full compile:
+ * every listed message first takes its first minimal path, then (in
+ * list order) keeps the candidate minimizing the peak utilization
+ * with all other routes fixed. All other rows of `pa` are left
+ * untouched, so this is the single-message (and few-message) routing
+ * entry point used by degraded-mode repair and by online admission.
+ *
+ * `pa` must be sized like bounds.messages; rows of the listed
+ * indices may hold anything (they are overwritten).
+ */
+GreedyRouteResult
+greedyRouteMessages(const TaskFlowGraph &g, const Topology &topo,
+                    const TaskAllocation &alloc,
+                    const TimeBounds &bounds,
+                    const IntervalSet &intervals,
+                    const std::vector<std::size_t> &indices,
+                    std::size_t maxPathsPerMessage,
+                    PathAssignment &pa);
+
 /**
  * The deterministic-routing baseline: every message takes its
  * LSD-to-MSD path.

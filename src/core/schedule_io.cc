@@ -13,13 +13,18 @@ namespace {
 constexpr const char *kMagicV1 = "srsim-schedule v1";
 constexpr const char *kMagicV2 = "srsim-schedule v2";
 
-std::string
-expectLine(std::istream &is, const char *what)
+/**
+ * Plausibility cap on on-disk counts. A truncated or corrupt header
+ * can claim (say) 10^18 messages; resizing to that is an allocation
+ * bomb, not a parse error, so counts above this bound are rejected
+ * as corrupt before any allocation happens.
+ */
+constexpr long long kMaxCount = 1000000;
+
+bool
+nextLine(std::istream &is, std::string &line)
 {
-    std::string line;
-    if (!std::getline(is, line))
-        fatal("schedule file truncated while reading ", what);
-    return line;
+    return static_cast<bool>(std::getline(is, line));
 }
 
 } // namespace
@@ -53,101 +58,168 @@ writeSchedule(std::ostream &os, const GlobalSchedule &omega)
     os << "end\n";
 }
 
-GlobalSchedule
-readSchedule(std::istream &is, const Topology &topo)
+ScheduleReadResult
+tryReadSchedule(std::istream &is, const Topology &topo)
 {
-    GlobalSchedule omega;
+    ScheduleReadResult res;
+    GlobalSchedule &omega = res.omega;
 
-    const std::string magic = expectLine(is, "magic");
-    if (magic != kMagicV1 && magic != kMagicV2)
-        fatal("not an srsim-schedule v1/v2 file");
+    const auto fail = [&res](const std::string &why) {
+        res.ok = false;
+        res.error = why;
+        res.omega = GlobalSchedule{};
+        return res;
+    };
+    const auto truncated = [&fail](const char *what) {
+        return fail(std::string(
+                        "schedule file truncated while reading ") +
+                    what);
+    };
 
+    std::string line;
+    if (!nextLine(is, line))
+        return truncated("magic");
+    if (line != kMagicV1 && line != kMagicV2)
+        return fail("not an srsim-schedule v1/v2 file");
+    const bool isV2 = line == kMagicV2;
+
+    if (!nextLine(is, line))
+        return truncated("period");
     {
-        std::istringstream ls(expectLine(is, "period"));
+        std::istringstream ls(line);
         std::string kw;
         ls >> kw >> omega.period;
-        if (kw != "period" || !(omega.period > 0.0))
-            fatal("bad period line in schedule file");
+        if (kw != "period" || ls.fail() || !(omega.period > 0.0))
+            return fail("bad period line in schedule file");
     }
 
     // v2 optional provenance lines, then the message count (also the
     // v1 next line, so v1 files take this loop zero times).
-    std::size_t nmsg = 0;
+    long long nmsg = -1;
     for (;;) {
-        std::istringstream ls(expectLine(is, "header"));
+        if (!nextLine(is, line))
+            return truncated("header");
+        std::istringstream ls(line);
         std::string kw;
         ls >> kw;
         if (kw == "messages") {
             ls >> nmsg;
+            if (ls.fail() || nmsg < 0)
+                return fail("bad messages line in schedule file");
+            if (nmsg > kMaxCount)
+                return fail("implausible message count " +
+                            std::to_string(nmsg) +
+                            " in schedule file");
             break;
         }
-        if (magic != kMagicV2)
-            fatal("bad messages line in schedule file");
+        if (!isV2)
+            return fail("bad messages line in schedule file");
         if (kw == "faults") {
             ls >> omega.faultSpec;
             if (omega.faultSpec.empty())
-                fatal("empty faults line in schedule file");
+                return fail("empty faults line in schedule file");
         } else if (kw == "degraded-from") {
             ls >> omega.degradedFrom;
             if (ls.fail() || !(omega.degradedFrom > 0.0))
-                fatal("bad degraded-from line in schedule file");
+                return fail(
+                    "bad degraded-from line in schedule file");
         } else {
-            fatal("unknown schedule header line '", kw, "'");
+            return fail("unknown schedule header line '" + kw +
+                        "'");
         }
     }
 
-    omega.segments.resize(nmsg);
-    omega.paths.paths.resize(nmsg);
-    for (std::size_t i = 0; i < nmsg; ++i) {
+    omega.segments.resize(static_cast<std::size_t>(nmsg));
+    omega.paths.paths.resize(static_cast<std::size_t>(nmsg));
+    for (std::size_t i = 0; i < static_cast<std::size_t>(nmsg);
+         ++i) {
+        const std::string ctx =
+            " for message " + std::to_string(i);
         {
-            std::istringstream ls(expectLine(is, "message header"));
+            if (!nextLine(is, line))
+                return truncated("message header");
+            std::istringstream ls(line);
             std::string kw, pathkw;
-            std::size_t idx;
+            std::size_t idx = 0;
             ls >> kw >> idx >> pathkw;
-            if (kw != "message" || idx != i || pathkw != "path")
-                fatal("bad message header for message ", i);
+            if (ls.fail() || kw != "message" || idx != i ||
+                pathkw != "path")
+                return fail("bad message header" + ctx);
             std::vector<NodeId> nodes;
             NodeId n;
             while (ls >> n)
                 nodes.push_back(n);
             if (nodes.empty())
-                fatal("empty path for message ", i);
+                return fail("empty path" + ctx);
             // Validate before makePath: a file whose route does not
             // exist in this topology is bad *input*, not an internal
             // invariant violation.
             for (NodeId n2 : nodes)
                 if (n2 < 0 || n2 >= topo.numNodes())
-                    fatal("message ", i, ": node ", n2,
-                          " outside the ", topo.numNodes(),
-                          "-node fabric");
+                    return fail(
+                        "node " + std::to_string(n2) +
+                        " outside the " +
+                        std::to_string(topo.numNodes()) +
+                        "-node fabric" + ctx);
             for (std::size_t j = 0; j + 1 < nodes.size(); ++j) {
                 if (!topo.adjacent(nodes[j], nodes[j + 1]))
-                    fatal("message ", i, ": nodes ", nodes[j],
-                          " and ", nodes[j + 1],
-                          " are not adjacent in ", topo.name());
+                    return fail(
+                        "nodes " + std::to_string(nodes[j]) +
+                        " and " + std::to_string(nodes[j + 1]) +
+                        " are not adjacent in " + topo.name() +
+                        ctx);
             }
-            omega.paths.paths[i] = topo.makePath(nodes);
+            try {
+                omega.paths.paths[i] = topo.makePath(nodes);
+            } catch (const PanicError &e) {
+                return fail(std::string("invalid path") + ctx +
+                            ": " + e.what());
+            } catch (const FatalError &e) {
+                return fail(std::string("invalid path") + ctx +
+                            ": " + e.what());
+            }
         }
-        std::size_t nseg = 0;
+        long long nseg = -1;
         {
-            std::istringstream ls(expectLine(is, "segment count"));
+            if (!nextLine(is, line))
+                return truncated("segment count");
+            std::istringstream ls(line);
             std::string kw;
             ls >> kw >> nseg;
-            if (kw != "segments")
-                fatal("bad segments line for message ", i);
+            if (kw != "segments" || ls.fail() || nseg < 0)
+                return fail("bad segments line" + ctx);
+            if (nseg > kMaxCount)
+                return fail("implausible segment count " +
+                            std::to_string(nseg) + ctx);
         }
-        for (std::size_t s = 0; s < nseg; ++s) {
-            std::istringstream ls(expectLine(is, "segment"));
+        omega.segments[i].reserve(static_cast<std::size_t>(nseg));
+        for (long long s = 0; s < nseg; ++s) {
+            if (!nextLine(is, line))
+                return truncated("segment");
+            std::istringstream ls(line);
             TimeWindow w;
             ls >> w.start >> w.end;
             if (ls.fail() || !timeLt(w.start, w.end))
-                fatal("bad segment ", s, " for message ", i);
+                return fail("bad segment " + std::to_string(s) +
+                            ctx);
             omega.segments[i].push_back(w);
         }
     }
-    if (expectLine(is, "trailer") != "end")
-        fatal("missing end marker in schedule file");
-    return omega;
+    if (!nextLine(is, line))
+        return truncated("trailer");
+    if (line != "end")
+        return fail("missing end marker in schedule file");
+    res.ok = true;
+    return res;
+}
+
+GlobalSchedule
+readSchedule(std::istream &is, const Topology &topo)
+{
+    ScheduleReadResult res = tryReadSchedule(is, topo);
+    if (!res.ok)
+        fatal(res.error);
+    return std::move(res.omega);
 }
 
 } // namespace srsim

@@ -16,6 +16,7 @@
 
 #include <istream>
 #include <ostream>
+#include <string>
 
 #include "core/schedule.hh"
 #include "topology/topology.hh"
@@ -25,11 +26,32 @@ namespace srsim {
 /** Write omega in the srsim-schedule v1 text format. */
 void writeSchedule(std::ostream &os, const GlobalSchedule &omega);
 
+/** Structured outcome of tryReadSchedule(). */
+struct ScheduleReadResult
+{
+    bool ok = false;
+    GlobalSchedule omega;
+    /** What is wrong with the file (non-empty exactly when !ok). */
+    std::string error;
+};
+
+/**
+ * Parse a schedule written by writeSchedule().
+ *
+ * Total on arbitrary bytes: truncated files, corrupt headers,
+ * negative or allocation-bomb counts, off-fabric or non-contiguous
+ * paths, and malformed segments all come back as a structured error
+ * — never an assert, abort, or uncaught exception. Long-lived
+ * services loading cached schedules from disk depend on this.
+ */
+ScheduleReadResult tryReadSchedule(std::istream &is,
+                                   const Topology &topo);
+
 /**
  * Parse a schedule written by writeSchedule().
  *
  * Fatal on malformed input or on paths that are not contiguous in
- * `topo`.
+ * `topo` (throwing wrapper over tryReadSchedule()).
  */
 GlobalSchedule readSchedule(std::istream &is, const Topology &topo);
 

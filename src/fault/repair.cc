@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "core/incremental.hh"
 #include "metrics/metrics.hh"
 #include "trace/trace.hh"
 #include "util/logging.hh"
@@ -125,98 +126,41 @@ tryIncrementalRepair(const TaskFlowGraph &g, const Topology &topo,
         // takes its first surviving minimal path, then (in index
         // order) keeps the candidate minimizing the peak utilization
         // with all other routes fixed.
-        UtilizationAnalyzer ua(bounds, ivs, topo);
-        std::vector<std::vector<Path>> cands(dirty.size());
-        for (std::size_t j = 0; j < dirty.size(); ++j) {
-            const std::size_t i = dirty[j];
-            const Message &m = g.message(bounds.messages[i].msg);
-            cands[j] = topo.minimalPaths(
-                alloc.nodeOf(m.src), alloc.nodeOf(m.dst),
-                cfg.assign.maxPathsPerMessage);
-            if (cands[j].empty())
-                return false; // disconnected: shed path handles it
-            pa.paths[i] = cands[j].front();
-        }
-        for (std::size_t j = 0; j < dirty.size(); ++j) {
-            const std::size_t i = dirty[j];
-            std::size_t best = 0;
-            double best_peak = 0.0;
-            for (std::size_t c = 0; c < cands[j].size(); ++c) {
-                pa.paths[i] = cands[j][c];
-                const double peak = ua.analyze(pa).peak;
-                if (c == 0 || peak < best_peak - 1e-12) {
-                    best = c;
-                    best_peak = peak;
-                }
-            }
-            pa.paths[i] = cands[j][best];
-        }
-        if (ua.analyze(pa).peak > 1.0 + 1e-9)
+        const GreedyRouteResult gr = greedyRouteMessages(
+            g, topo, alloc, bounds, ivs, dirty,
+            cfg.assign.maxPathsPerMessage, pa);
+        if (!gr.ok)
+            return false; // disconnected: shed path handles it
+        if (gr.report.peak > 1.0 + 1e-9)
             return false;
     }
 
-    // Re-partition under the repaired assignment. Subsets free of
-    // dirty members and derated links are exactly healthy subsets
-    // (the relatedness of untouched routes is unchanged), so their
-    // allocation rows and segments are reused verbatim.
-    const std::vector<MessageSubset> subsets =
-        computeMaximalSubsets(bounds, ivs, pa);
-    std::vector<MessageSubset> dirtySubsets;
-    std::vector<char> inDirtySubset(bounds.messages.size(), 0);
-    for (const MessageSubset &sub : subsets) {
-        bool isDirty = false;
-        for (std::size_t h : sub.members)
-            isDirty = isDirty ||
-                      std::find(dirty.begin(), dirty.end(), h) !=
-                          dirty.end();
-        for (LinkId l : sub.links)
-            isDirty = isDirty || topo.linkCapacity(l) < 1.0;
-        if (isDirty) {
-            dirtySubsets.push_back(sub);
-            for (std::size_t h : sub.members)
-                inDirtySubset[h] = 1;
-        }
-    }
+    // Re-solve only the subsets touched by rerouted messages or
+    // derated links; everything else keeps its healthy segments
+    // verbatim (see src/core/incremental.hh for the invariants).
+    std::vector<char> dirtyFlags(bounds.messages.size(), 0);
+    for (std::size_t i : dirty)
+        dirtyFlags[i] = 1;
 
-    res.subsetsTotal = subsets.size();
-    res.subsetsResolved = dirtySubsets.size();
-    res.subsetsReused = subsets.size() - dirtySubsets.size();
+    IncrementalSolveOptions iopts;
+    iopts.allocMethod = cfg.allocMethod;
+    iopts.scheduling = cfg.scheduling;
+    iopts.scheduling.packetTime = effectivePacketTime(cfg, tm);
+    iopts.topo = &topo;
+    iopts.tracePrefix = "repair";
+    const IncrementalSolveResult inc = resolveDirtySubsets(
+        bounds, ivs, pa, dirtyFlags, healthy.omega.segments, iopts);
 
-    const Time packet = effectivePacketTime(cfg, tm);
-    IntervalAllocation merged = healthy.allocation;
-    IntervalScheduleResult repairedSched;
-    if (!dirtySubsets.empty()) {
-        {
-            trace::ScopedPhase phase("repair_allocation");
-            const IntervalAllocation fresh = allocateMessageIntervals(
-                bounds, ivs, pa, dirtySubsets, cfg.allocMethod,
-                cfg.scheduling.guardTime, packet, &topo);
-            if (!fresh.feasible)
-                return false;
-            for (std::size_t h = 0; h < bounds.messages.size(); ++h)
-                if (inDirtySubset[h])
-                    for (std::size_t k = 0; k < ivs.size(); ++k)
-                        merged.allocation.at(h, k) =
-                            fresh.allocation.at(h, k);
-        }
-        {
-            trace::ScopedPhase phase("repair_scheduling");
-            IntervalSchedulingOptions sopts = cfg.scheduling;
-            sopts.packetTime = packet;
-            repairedSched = scheduleIntervals(
-                bounds, ivs, pa, dirtySubsets, merged, sopts);
-            if (!repairedSched.feasible)
-                return false;
-        }
-    }
+    res.subsetsTotal = inc.subsetsTotal;
+    res.subsetsResolved = inc.subsetsResolved;
+    res.subsetsReused = inc.subsetsCopied;
+    if (!inc.feasible)
+        return false;
 
     GlobalSchedule omega;
     omega.period = healthy.omega.period;
     omega.paths = pa;
-    omega.segments = healthy.omega.segments;
-    for (std::size_t h = 0; h < bounds.messages.size(); ++h)
-        if (inDirtySubset[h])
-            omega.segments[h] = repairedSched.segments[h];
+    omega.segments = inc.segments;
 
     const VerifyResult v =
         verifySchedule(g, topo, alloc, bounds, omega);

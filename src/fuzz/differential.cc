@@ -8,6 +8,7 @@
 #include "core/verifier.hh"
 #include "cpsim/cp_simulator.hh"
 #include "fault/fault.hh"
+#include "fuzz/churn.hh"
 #include "topology/factory.hh"
 #include "util/logging.hh"
 
@@ -172,6 +173,10 @@ runCaseInner(const FuzzCase &c, const RunOptions &opts)
 RunResult
 runCase(const FuzzCase &c, const RunOptions &opts)
 {
+    // Churny cases exercise the online service against the
+    // from-scratch oracle instead of the batch three-oracle run.
+    if (!c.churnOps.empty())
+        return runChurnCase(c, opts);
     // The harness's core contract: *nothing* a case contains may
     // escape as an exception — a throw is itself the bug being
     // hunted (the compiler must return structured errors).

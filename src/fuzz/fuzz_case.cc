@@ -69,6 +69,8 @@ writeFuzzCase(std::ostream &os, const FuzzCase &c)
     os << "feedback-rounds " << c.feedbackRounds << "\n";
     if (!c.faultSpec.empty())
         os << "faults " << c.faultSpec << "\n";
+    for (const std::string &op : c.churnOps)
+        os << "churn " << op << "\n";
     os << "tfg\n";
     writeTfg(os, c.g);
     for (TaskId t = 0; t < c.g.numTasks(); ++t) {
@@ -148,6 +150,14 @@ readFuzzCase(std::istream &is)
             ls >> c.faultSpec;
             if (c.faultSpec.empty())
                 fatal("empty faults line in srsim-fuzz file");
+        }
+        else if (key == "churn") {
+            std::string op;
+            std::getline(ls, op);
+            const std::size_t b = op.find_first_not_of(" \t");
+            if (b == std::string::npos)
+                fatal("empty churn line in srsim-fuzz file");
+            c.churnOps.push_back(op.substr(b));
         }
         else if (key == "map") {
             std::string name;

@@ -26,6 +26,8 @@
  *   max-restarts 2
  *   feedback-rounds 0
  *   faults link:#3;derate:#7=0.5     (optional; omitted = healthy)
+ *   churn admit zc0 t2 t5 512        (optional; online request
+ *   churn remove zc0                  lines, replayed in order)
  *   tfg
  *   srsim-tfg v1
  *   ...
@@ -80,6 +82,14 @@ struct FuzzCase
      * outside the differential domain (InvalidCase).
      */
     std::string faultSpec;
+    /**
+     * Online churn sequence: admit/remove request lines in the
+     * src/online script grammar (e.g. "admit zc0 t2 t5 512"),
+     * replayed in order against an OnlineScheduler and
+     * differentially checked against from-scratch recompiles.
+     * Empty = batch case (the classic three-oracle run).
+     */
+    std::vector<std::string> churnOps;
 
     /** Allocation object for this case's task placement. */
     TaskAllocation makeAllocation(const Topology &topo) const;

@@ -168,6 +168,46 @@ generateCase(std::uint64_t seed)
         }
         c.faultSpec = spec;
     }
+
+    // Churn dimension, drawn after faults so every pre-churn draw
+    // above is identical to the earlier generator for the same
+    // seed. A churny case replays admit/remove requests through the
+    // online service (see fuzz/churn.hh) instead of the batch
+    // three-oracle run; the drawn ops are always *well-formed*
+    // (existing tasks, forward edges, no duplicate names) so every
+    // rejection is a schedulability claim the from-scratch oracle
+    // can cross-examine.
+    if (rng.chance(0.35)) {
+        const int nops = rng.uniformInt(1, 5);
+        std::vector<std::string> live;
+        for (MessageId m = 0; m < c.g.numMessages(); ++m)
+            live.push_back(c.g.message(m).name);
+        int next = 0;
+        for (int i = 0; i < nops; ++i) {
+            if (!live.empty() && rng.chance(0.35)) {
+                const std::size_t k = rng.index(live.size());
+                c.churnOps.push_back("remove " + live[k]);
+                live.erase(live.begin() +
+                           static_cast<std::ptrdiff_t>(k));
+                continue;
+            }
+            // Task ids are in topological order (the random TFG
+            // adds tasks layer by layer), so src < dst keeps the
+            // admitted graph acyclic.
+            const int a =
+                rng.uniformInt(0, c.g.numTasks() - 2);
+            const int b = rng.uniformInt(a + 1,
+                                         c.g.numTasks() - 1);
+            const std::string name =
+                "zc" + std::to_string(next++);
+            c.churnOps.push_back(
+                "admit " + name + " " +
+                c.g.task(static_cast<TaskId>(a)).name + " " +
+                c.g.task(static_cast<TaskId>(b)).name + " " +
+                std::to_string(rng.uniformInt(32, 4096)));
+            live.push_back(name);
+        }
+    }
     return c;
 }
 

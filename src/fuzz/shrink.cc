@@ -176,7 +176,34 @@ shrinkCase(const FuzzCase &c, const StillFails &stillFails,
             }
         }
 
-        // Pass 4: knob simplifications (each only if the bug
+        // Pass 4: churn minimization — the whole sequence first (a
+        // bug that reproduces without churn is a batch-compiler
+        // bug, and the case degrades to the three-oracle run),
+        // then one request at a time from the end (later ops drop
+        // first so removes keep their earlier admits).
+        if (!best.churnOps.empty()) {
+            FuzzCase cand = best;
+            cand.churnOps.clear();
+            if (tryCase(cand)) {
+                st.churnOpsRemoved +=
+                    static_cast<int>(best.churnOps.size());
+                changed = true;
+            }
+        }
+        for (std::size_t i = best.churnOps.size(); i-- > 0;) {
+            if (i >= best.churnOps.size())
+                continue;
+            FuzzCase cand = best;
+            cand.churnOps.erase(
+                cand.churnOps.begin() +
+                static_cast<std::ptrdiff_t>(i));
+            if (tryCase(cand)) {
+                ++st.churnOpsRemoved;
+                changed = true;
+            }
+        }
+
+        // Pass 5: knob simplifications (each only if the bug
         // survives without it).
         auto simplify = [&](auto mutate) {
             FuzzCase cand = best;

@@ -5,10 +5,12 @@
  * Given a case and a predicate "does this case still fail?", the
  * shrinker greedily removes structure while the predicate holds:
  * first whole messages, then whole tasks (with their incident
- * messages), then knob simplifications (feedback off, restarts off,
- * guard off, packet grid off, plain LP methods). Passes repeat to a
- * fixpoint under a budget on predicate evaluations, so a corpus
- * case is close to minimal and cheap to re-run forever.
+ * messages), then fault events, then churn ops (the whole sequence
+ * first, then one request at a time), then knob simplifications
+ * (feedback off, restarts off, guard off, packet grid off, plain LP
+ * methods). Passes repeat to a fixpoint under a budget on predicate
+ * evaluations, so a corpus case is close to minimal and cheap to
+ * re-run forever.
  */
 
 #ifndef SRSIM_FUZZ_SHRINK_HH_
@@ -32,6 +34,7 @@ struct ShrinkStats
     int messagesRemoved = 0;
     int tasksRemoved = 0;
     int knobsSimplified = 0;
+    int churnOpsRemoved = 0;
 };
 
 /** Copy of `c` without message `m` (ids renumbered). */

@@ -1,0 +1,112 @@
+#include "online/cache.hh"
+
+#include <iomanip>
+#include <sstream>
+
+namespace srsim {
+namespace online {
+
+std::string
+canonicalWorkloadKey(const TaskFlowGraph &g, const Topology &topo,
+                     const TaskAllocation &alloc,
+                     const TimingModel &tm,
+                     const SrCompilerConfig &cfg)
+{
+    std::ostringstream os;
+    os << std::setprecision(17);
+
+    // Fabric and its fault mask. Healthy resources are implicit so
+    // the common (healthy) key stays short.
+    os << "topo=" << topo.name() << ";";
+    for (LinkId l = 0; l < topo.numLinks(); ++l)
+        if (topo.linkCapacity(l) < 1.0)
+            os << "l" << l << "=" << topo.linkCapacity(l) << ";";
+    for (NodeId n = 0; n < topo.numNodes(); ++n)
+        if (!topo.nodeUp(n))
+            os << "n" << n << ";";
+
+    // Timing model.
+    os << "ap=" << tm.apSpeed << ";bw=" << tm.bandwidth
+       << ";pkt=" << tm.packetBytes << ";";
+
+    // Compiler knobs the schedule depends on.
+    os << "period=" << cfg.inputPeriod
+       << ";assign=" << (cfg.useAssignPaths ? 1 : 0)
+       << ";seed=" << cfg.assign.seed
+       << ";restarts=" << cfg.assign.maxRestarts
+       << ";maxpaths=" << cfg.assign.maxPathsPerMessage
+       << ";inner=" << cfg.assign.maxInnerIterations
+       << ";alloc="
+       << (cfg.allocMethod == AllocationMethod::Lp ? "lp"
+                                                   : "greedy")
+       << ";sched="
+       << (cfg.scheduling.method == SchedulingMethod::LpFeasibleSets
+               ? "lp"
+               : "list")
+       << ";sets=" << cfg.scheduling.maxFeasibleSets
+       << ";ptime=" << cfg.scheduling.packetTime
+       << ";mip=" << (cfg.scheduling.exactPacketMip ? 1 : 0)
+       << ";guard=" << cfg.scheduling.guardTime
+       << ";feedback=" << cfg.feedbackRounds << ";";
+
+    // Tasks with placement, then messages in id order (segment row
+    // i of the compiled schedule indexes the i-th network message
+    // in this order, so order is part of the identity).
+    for (const Task &t : g.tasks())
+        os << "t:" << t.name << ":" << t.operations << ":"
+           << alloc.nodeOf(t.id) << ";";
+    for (const Message &m : g.messages())
+        os << "m:" << m.name << ":" << g.task(m.src).name << ":"
+           << g.task(m.dst).name << ":" << m.bytes << ";";
+    return os.str();
+}
+
+std::uint64_t
+fnv1a64(const std::string &s)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+ScheduleCache::ScheduleCache(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity)
+{
+}
+
+const ScheduleCache::Entry *
+ScheduleCache::lookup(const std::string &key)
+{
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+        ++misses_;
+        return nullptr;
+    }
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return &it->second->second;
+}
+
+void
+ScheduleCache::insert(const std::string &key, Entry entry)
+{
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+        it->second->second = std::move(entry);
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return;
+    }
+    lru_.emplace_front(key, std::move(entry));
+    map_[key] = lru_.begin();
+    while (map_.size() > capacity_) {
+        map_.erase(lru_.back().first);
+        lru_.pop_back();
+        ++evictions_;
+    }
+}
+
+} // namespace online
+} // namespace srsim

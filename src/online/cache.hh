@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Content-addressed schedule cache.
+ *
+ * The online service sees churny workloads revisit earlier states
+ * (admit X, remove X, admit X again). Compiling is expensive;
+ * looking up is not. The cache maps a *canonical workload key* — a
+ * deterministic serialization of everything the compiler's output
+ * depends on (fabric + fault mask, timing model, compiler knobs,
+ * tasks, placement, and messages in id order) — to the compiled,
+ * verifier-certified schedule. Bounded LRU; hit/miss/eviction
+ * counts feed the online.* metrics.
+ *
+ * The key is order-sensitive on messages by design: segment row i of
+ * a GlobalSchedule indexes the i-th *network* message in TFG id
+ * order, so two workloads with the same message set but different
+ * id order are different cache entries.
+ */
+
+#ifndef SRSIM_ONLINE_CACHE_HH_
+#define SRSIM_ONLINE_CACHE_HH_
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "core/schedule.hh"
+#include "core/sr_compiler.hh"
+#include "mapping/allocation.hh"
+#include "tfg/tfg.hh"
+#include "tfg/timing.hh"
+#include "topology/topology.hh"
+
+namespace srsim {
+namespace online {
+
+/**
+ * Canonical serialization of one compile problem. Two problems with
+ * equal keys produce byte-identical schedules (the compiler is a
+ * deterministic function of exactly these inputs).
+ */
+std::string canonicalWorkloadKey(const TaskFlowGraph &g,
+                                 const Topology &topo,
+                                 const TaskAllocation &alloc,
+                                 const TimingModel &tm,
+                                 const SrCompilerConfig &cfg);
+
+/** FNV-1a 64-bit hash (stable across platforms, for logging). */
+std::uint64_t fnv1a64(const std::string &s);
+
+/** LRU-bounded canonical-key -> compiled-schedule cache. */
+class ScheduleCache
+{
+  public:
+    explicit ScheduleCache(std::size_t capacity = 64);
+
+    /** One cached, verifier-certified schedule. */
+    struct Entry
+    {
+        GlobalSchedule omega;
+        std::size_t numSubsets = 0;
+        double peakUtilization = 0.0;
+    };
+
+    /**
+     * @return the entry for `key` (bumped to most-recently-used),
+     *         or nullptr on a miss. The pointer is valid until the
+     *         next insert().
+     */
+    const Entry *lookup(const std::string &key);
+
+    /** Insert (or refresh) an entry, evicting the LRU tail. */
+    void insert(const std::string &key, Entry entry);
+
+    std::size_t size() const { return map_.size(); }
+    std::size_t capacity() const { return capacity_; }
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t evictions() const { return evictions_; }
+
+  private:
+    std::size_t capacity_;
+    /** Most-recently-used at the front. */
+    std::list<std::pair<std::string, Entry>> lru_;
+    std::unordered_map<
+        std::string,
+        std::list<std::pair<std::string, Entry>>::iterator>
+        map_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t evictions_ = 0;
+};
+
+} // namespace online
+} // namespace srsim
+
+#endif // SRSIM_ONLINE_CACHE_HH_

@@ -416,6 +416,13 @@ faultEvent(const std::string &what, double ts)
 }
 
 void
+onlineRequest(const std::string &what, double ts)
+{
+    emit(EventType::Instant, TrackKind::Compiler, 0, "online",
+         "online request", ts, 0.0, -1, -1, what);
+}
+
+void
 deadlock(const std::string &cycle, double ts)
 {
     emit(EventType::Instant, TrackKind::Sim, 0, "deadlock",

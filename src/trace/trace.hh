@@ -212,6 +212,11 @@ void invocationComplete(std::int32_t inv, double ts);
 void violation(const std::string &what, double ts);
 /** Injected fault taking effect (link death, schedule swap, drop). */
 void faultEvent(const std::string &what, double ts);
+/**
+ * Online scheduling service request (admit/remove/period/fault)
+ * being processed or a new schedule being published.
+ */
+void onlineRequest(const std::string &what, double ts);
 void deadlock(const std::string &cycle, double ts);
 
 } // namespace trace

@@ -156,6 +156,101 @@ TEST(FuzzShrinkTest, ReturnsOriginalWhenNothingRemovable)
     EXPECT_EQ(min.g.numMessages(), c.g.numMessages());
 }
 
+TEST(FuzzGeneratorTest, SomeSeedsCarryChurnOps)
+{
+    // The churn dimension must actually be exercised: over a window
+    // of seeds, some cases carry admit/remove sequences and the ops
+    // are well-formed request lines.
+    std::size_t churny = 0, batch = 0;
+    for (std::uint64_t seed = 0; seed < 40; ++seed) {
+        const fuzz::FuzzCase c = fuzz::generateCase(seed);
+        if (c.churnOps.empty()) {
+            ++batch;
+            continue;
+        }
+        ++churny;
+        for (const std::string &op : c.churnOps)
+            EXPECT_TRUE(op.rfind("admit ", 0) == 0 ||
+                        op.rfind("remove ", 0) == 0)
+                << "seed " << seed << ": odd churn op '" << op
+                << "'";
+    }
+    EXPECT_GT(churny, 0u);
+    EXPECT_GT(batch, 0u);
+}
+
+TEST(FuzzCaseTest, ChurnOpsRoundTripThroughText)
+{
+    // Find a seed whose case carries churn ops and round-trip it.
+    fuzz::FuzzCase c;
+    for (std::uint64_t seed = 0;; ++seed) {
+        ASSERT_LT(seed, 200u) << "no churny seed in range";
+        c = fuzz::generateCase(seed);
+        if (!c.churnOps.empty())
+            break;
+    }
+    std::ostringstream os;
+    fuzz::writeFuzzCase(os, c);
+    std::istringstream is(os.str());
+    const fuzz::FuzzCase d = fuzz::readFuzzCase(is);
+    EXPECT_EQ(d.churnOps, c.churnOps);
+}
+
+TEST(FuzzChurnTest, ChurnSeedsReplayClean)
+{
+    // A window of churny seeds through the online-vs-oracle
+    // differential runner: zero disagreements. (CI's srfuzz_smoke
+    // and the acceptance sweep run far more seeds; this is the
+    // always-on regression floor.)
+    fuzz::RunOptions opts;
+    opts.invocations = 8;
+    opts.warmup = 2;
+    std::size_t ran = 0;
+    for (std::uint64_t seed = 0; seed < 60 && ran < 12; ++seed) {
+        const fuzz::FuzzCase c = fuzz::generateCase(seed);
+        if (c.churnOps.empty())
+            continue;
+        ++ran;
+        const fuzz::RunResult r = fuzz::runCase(c, opts);
+        EXPECT_FALSE(r.failed())
+            << "seed " << seed << ": " << r.report;
+    }
+    EXPECT_GE(ran, 5u) << "churn dimension under-exercised";
+}
+
+TEST(FuzzShrinkTest, DropsIrrelevantChurnOps)
+{
+    // Predicate: "fails" whenever the op admitting 'zkeep' is
+    // present. The shrinker's churn pass must drop every other op.
+    fuzz::FuzzCase c = fuzz::generateCase(3);
+    c.churnOps = {"admit zdrop1 t0 t1 64",
+                  "admit zkeep t0 t1 64", "remove zdrop1",
+                  "admit zdrop2 t0 t1 64"};
+    const auto stillFails = [](const fuzz::FuzzCase &cand) {
+        for (const std::string &op : cand.churnOps)
+            if (op.find("zkeep") != std::string::npos)
+                return true;
+        return false;
+    };
+    fuzz::ShrinkStats st;
+    const fuzz::FuzzCase min =
+        fuzz::shrinkCase(c, stillFails, 400, &st);
+    ASSERT_EQ(min.churnOps.size(), 1u);
+    EXPECT_EQ(min.churnOps[0], "admit zkeep t0 t1 64");
+    EXPECT_GT(st.churnOpsRemoved, 0);
+}
+
+TEST(FuzzShrinkTest, ClearsChurnWhenChurnIsIrrelevant)
+{
+    // Predicate ignores churn entirely: the whole-sequence drop
+    // must fire, degrading the case to a batch run.
+    fuzz::FuzzCase c = fuzz::generateCase(3);
+    c.churnOps = {"admit z0 t0 t1 64", "remove z0"};
+    const fuzz::FuzzCase min = fuzz::shrinkCase(
+        c, [](const fuzz::FuzzCase &) { return true; }, 400);
+    EXPECT_TRUE(min.churnOps.empty());
+}
+
 TEST(FuzzCorpusTest, EveryCorpusCaseReplaysClean)
 {
     const std::filesystem::path dir(SRSIM_CORPUS_DIR);

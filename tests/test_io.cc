@@ -3,6 +3,7 @@
  * Tests for the TFG file format and the topology factory.
  */
 
+#include <fstream>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -138,6 +139,84 @@ TEST(ScheduleIoTest, GoldenRoundTripVerifiesAndMatches)
                         r.omega.segments[i][w].end, 1e-9);
         }
     }
+}
+
+/**
+ * Malformed-input corpus: tryReadSchedule must be total on arbitrary
+ * bytes — every corrupt file under tests/corpus/io/ comes back as a
+ * structured error naming the defect, never an assert, abort, or
+ * uncaught exception. A long-lived service preloading schedules from
+ * disk (`srsimc serve --preload`) depends on exactly this contract.
+ */
+TEST(ScheduleIoTest, MalformedCorpusReturnsStructuredErrors)
+{
+    const auto topo = makeTopology("torus:4,4,4");
+    struct BadCase
+    {
+        const char *file;
+        const char *errorNeedle;
+    };
+    const BadCase cases[] = {
+        {"empty.sched", "truncated while reading magic"},
+        {"bad-magic.sched", "not an srsim-schedule"},
+        {"truncated-header.sched", "truncated while reading"},
+        {"bad-period.sched", "bad period line"},
+        {"count-bomb.sched", "implausible message count"},
+        {"negative-count.sched", "bad messages line"},
+        {"bad-path-node.sched", "outside the 64-node fabric"},
+        {"nonadjacent-path.sched", "not adjacent"},
+        {"truncated-segments.sched",
+         "truncated while reading segment"},
+        {"inverted-segment.sched", "bad segment"},
+        {"missing-end.sched", "missing end marker"},
+        {"v2-bad-degraded.sched", "bad degraded-from line"},
+        {"v2-unknown-header.sched", "unknown schedule header"},
+        {"v1-faults-line.sched", "bad messages line"},
+    };
+    for (const BadCase &c : cases) {
+        const std::string path =
+            std::string(SRSIM_IO_CORPUS_DIR) + "/" + c.file;
+        std::ifstream in(path);
+        ASSERT_TRUE(in.is_open()) << "missing corpus file " << path;
+        const ScheduleReadResult r = tryReadSchedule(in, *topo);
+        EXPECT_FALSE(r.ok) << c.file;
+        EXPECT_NE(r.error.find(c.errorNeedle), std::string::npos)
+            << c.file << ": got error '" << r.error << "'";
+        // A failed parse leaves no partial schedule behind.
+        EXPECT_TRUE(r.omega.segments.empty()) << c.file;
+    }
+}
+
+/** The valid corpus files parse, including v2 provenance. */
+TEST(ScheduleIoTest, ValidCorpusParses)
+{
+    const auto topo = makeTopology("torus:4,4,4");
+    {
+        std::ifstream in(std::string(SRSIM_IO_CORPUS_DIR) +
+                         "/valid-v1.sched");
+        ASSERT_TRUE(in.is_open());
+        const ScheduleReadResult r = tryReadSchedule(in, *topo);
+        ASSERT_TRUE(r.ok) << r.error;
+        EXPECT_EQ(r.omega.segments.size(), 1u);
+        EXPECT_TRUE(r.omega.faultSpec.empty());
+    }
+    {
+        std::ifstream in(std::string(SRSIM_IO_CORPUS_DIR) +
+                         "/valid-v2.sched");
+        ASSERT_TRUE(in.is_open());
+        const ScheduleReadResult r = tryReadSchedule(in, *topo);
+        ASSERT_TRUE(r.ok) << r.error;
+        EXPECT_EQ(r.omega.faultSpec, "link:0-1");
+        EXPECT_DOUBLE_EQ(r.omega.degradedFrom, 120.0);
+    }
+}
+
+/** The throwing wrapper surfaces the same structured message. */
+TEST(ScheduleIoTest, ReadScheduleFatalsOnCorruptInput)
+{
+    const auto topo = makeTopology("torus:4,4,4");
+    std::istringstream in("srsim-schedule v1\nperiod 0\n");
+    EXPECT_THROW(readSchedule(in, *topo), FatalError);
 }
 
 TEST(TopologyFactoryTest, BuildsAllKinds)

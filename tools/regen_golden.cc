@@ -18,26 +18,41 @@
 #include <string>
 
 #include "golden_cases.hh"
+#include "golden_churn.hh"
+
+namespace {
+
+bool
+writeCase(const std::string &dir, const std::string &name,
+          const std::string &text)
+{
+    const std::string path = dir + "/" + name + ".sched";
+    std::ofstream out(path);
+    if (!out) {
+        std::cerr << "cannot write '" << path << "'\n";
+        return false;
+    }
+    out << text;
+    std::cout << path << ": " << text.size() << " bytes\n";
+    return true;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
 {
     const std::string dir = argc > 1 ? argv[1] : "tests/golden";
     try {
-        for (const auto &gc : srsim::golden::goldenCases()) {
-            const std::string text =
-                srsim::golden::compileGoldenCase(gc);
-            const std::string path =
-                dir + "/" + gc.name + ".sched";
-            std::ofstream out(path);
-            if (!out) {
-                std::cerr << "cannot write '" << path << "'\n";
+        for (const auto &gc : srsim::golden::goldenCases())
+            if (!writeCase(dir, gc.name,
+                           srsim::golden::compileGoldenCase(gc)))
                 return 1;
-            }
-            out << text;
-            std::cout << path << ": " << text.size()
-                      << " bytes\n";
-        }
+        for (const auto &cc : srsim::golden::churnCases())
+            if (!writeCase(
+                    dir, cc.name,
+                    srsim::golden::runChurnCase(cc).scheduleText))
+                return 1;
     } catch (const srsim::FatalError &e) {
         std::cerr << "regen_golden: " << e.what() << "\n";
         return 1;
