@@ -10,8 +10,10 @@
  */
 
 #include <chrono>
+#include <filesystem>
 #include <fstream>
 #include <functional>
+#include <future>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -24,6 +26,8 @@
 #include "mapping/allocation.hh"
 #include "metrics/metrics.hh"
 #include "online/service.hh"
+#include "server/daemon.hh"
+#include "server/protocol.hh"
 #include "tfg/dvb.hh"
 #include "tfg/timing.hh"
 #include "topology/factory.hh"
@@ -250,6 +254,92 @@ main(int argc, char **argv)
         if (total > 0)
             reg.counter("bench.online.cache_hit_rate_pct")
                 .add(100 * svc.cache().hits() / total);
+    }));
+
+    // Daemon throughput: 4 sessions of the fig10 workload through
+    // the multi-tenant daemon, cache off so every admit is a real
+    // solve. One scenario per sweep point (1 worker; 4 workers;
+    // 4 workers + WAL with per-record fsync) — the server.*
+    // counters land in the snapshot, the derived request rate and
+    // p95 go in as bench.* counters.
+    const auto daemonScenario = [&](std::size_t workers, bool wal) {
+        const int sessions = 4, rounds = 2;
+        const std::filesystem::path state =
+            std::filesystem::temp_directory_path() /
+            "srsim-emit-bench-daemon";
+        std::filesystem::remove_all(state);
+        server::DaemonConfig cfg;
+        cfg.workers = workers;
+        cfg.queueCap =
+            static_cast<std::size_t>(sessions * rounds) * 2 + 16;
+        cfg.cacheCapacity = 0;
+        if (wal)
+            cfg.stateDir = state.string();
+        server::SchedulingDaemon daemon(cfg);
+        for (int k = 0; k < sessions; ++k) {
+            server::SessionConfig sc;
+            sc.name = "s" + std::to_string(k);
+            sc.topo = "torus:4,4,4";
+            sc.period = 120.0;
+            sc.bandwidth = 128.0;
+            sc.alloc = "rr:13";
+            daemon.open(sc);
+        }
+        std::vector<std::future<server::DaemonResponse>> futs;
+        const auto t0 = std::chrono::steady_clock::now();
+        for (int r = 0; r < rounds; ++r)
+            for (int k = 0; k < sessions; ++k) {
+                online::Request admit;
+                admit.kind = online::RequestKind::AdmitMessage;
+                online::AdmitSpec spec;
+                spec.name = "bench" + std::to_string(r);
+                spec.src = skips[static_cast<std::size_t>(r) %
+                                 skips.size()]
+                               .first;
+                spec.dst = skips[static_cast<std::size_t>(r) %
+                                 skips.size()]
+                               .second;
+                spec.bytes = 128.0 + 16.0 * static_cast<double>(r) +
+                             static_cast<double>(k);
+                admit.admits.push_back(std::move(spec));
+                futs.push_back(daemon.submit(
+                    "s" + std::to_string(k), std::move(admit)));
+                online::Request remove;
+                remove.kind = online::RequestKind::RemoveMessage;
+                remove.name = "bench" + std::to_string(r);
+                futs.push_back(daemon.submit(
+                    "s" + std::to_string(k), std::move(remove)));
+            }
+        std::vector<double> ms;
+        std::size_t served = 0;
+        for (auto &f : futs) {
+            const server::DaemonResponse r = f.get();
+            ++served;
+            if (r.outcome == server::DaemonOutcome::Ok &&
+                r.result.accepted && r.kind == "admit")
+                ms.push_back(r.result.latencyMs);
+        }
+        const auto t1 = std::chrono::steady_clock::now();
+        const double wallMs =
+            std::chrono::duration<double, std::milli>(t1 - t0)
+                .count();
+        auto &reg = metrics::Registry::global();
+        if (wallMs > 0.0)
+            reg.counter("bench.server.requests_per_sec")
+                .add(static_cast<std::uint64_t>(
+                    1000.0 * static_cast<double>(served) / wallMs));
+        if (!ms.empty())
+            reg.counter("bench.server.admit_p95_us")
+                .add(pctUs(ms, 95.0));
+        daemon.shutdown();
+        std::filesystem::remove_all(state);
+    };
+    records.push_back(runScenario(
+        "server_throughput_1w", [&] { daemonScenario(1, false); }));
+    records.push_back(runScenario(
+        "server_throughput_4w", [&] { daemonScenario(4, false); }));
+    records.push_back(runScenario("server_throughput_4w_wal", [&] {
+        daemonScenario(4, true);
     }));
 
     std::ofstream out(out_path);

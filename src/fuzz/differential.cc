@@ -9,6 +9,7 @@
 #include "cpsim/cp_simulator.hh"
 #include "fault/fault.hh"
 #include "fuzz/churn.hh"
+#include "fuzz/multi.hh"
 #include "topology/factory.hh"
 #include "util/logging.hh"
 
@@ -173,6 +174,10 @@ runCaseInner(const FuzzCase &c, const RunOptions &opts)
 RunResult
 runCase(const FuzzCase &c, const RunOptions &opts)
 {
+    // Multi-session cases exercise the scheduling daemon and its
+    // crash-recovery oracle (fuzz/multi.hh).
+    if (c.numSessions > 0 || !c.multiOps.empty())
+        return runMultiCase(c, opts);
     // Churny cases exercise the online service against the
     // from-scratch oracle instead of the batch three-oracle run.
     if (!c.churnOps.empty())

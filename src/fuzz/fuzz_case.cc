@@ -71,6 +71,10 @@ writeFuzzCase(std::ostream &os, const FuzzCase &c)
         os << "faults " << c.faultSpec << "\n";
     for (const std::string &op : c.churnOps)
         os << "churn " << op << "\n";
+    if (c.numSessions > 0)
+        os << "sessions " << c.numSessions << "\n";
+    for (const auto &[k, op] : c.multiOps)
+        os << "mchurn " << k << " " << op << "\n";
     os << "tfg\n";
     writeTfg(os, c.g);
     for (TaskId t = 0; t < c.g.numTasks(); ++t) {
@@ -158,6 +162,21 @@ readFuzzCase(std::istream &is)
             if (b == std::string::npos)
                 fatal("empty churn line in srsim-fuzz file");
             c.churnOps.push_back(op.substr(b));
+        }
+        else if (key == "sessions") {
+            ls >> c.numSessions;
+            if (!ls.fail() && c.numSessions <= 0)
+                fatal("sessions count must be positive");
+        }
+        else if (key == "mchurn") {
+            int k = -1;
+            ls >> k;
+            std::string op;
+            std::getline(ls, op);
+            const std::size_t b = op.find_first_not_of(" \t");
+            if (ls.fail() || k < 0 || b == std::string::npos)
+                fatal("malformed mchurn line in srsim-fuzz file");
+            c.multiOps.emplace_back(k, op.substr(b));
         }
         else if (key == "map") {
             std::string name;

@@ -28,6 +28,9 @@
  *   faults link:#3;derate:#7=0.5     (optional; omitted = healthy)
  *   churn admit zc0 t2 t5 512        (optional; online request
  *   churn remove zc0                  lines, replayed in order)
+ *   sessions 3                       (optional; daemon sessions)
+ *   mchurn 1 admit zm0 t2 t5 512     (optional; per-session daemon
+ *   mchurn 0 remove zm1               request lines, in order)
  *   tfg
  *   srsim-tfg v1
  *   ...
@@ -43,6 +46,8 @@
 #include <cstdint>
 #include <istream>
 #include <ostream>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "core/sr_compiler.hh"
@@ -90,6 +95,19 @@ struct FuzzCase
      * Empty = batch case (the classic three-oracle run).
      */
     std::vector<std::string> churnOps;
+    /**
+     * Multi-session daemon dimension: when > 0 the case runs
+     * through the scheduling daemon (fuzz/multi.hh) with this many
+     * sessions, each serving this case's workload, instead of the
+     * batch or churn runner.
+     */
+    int numSessions = 0;
+    /**
+     * Daemon request sequence: (session index, request line) pairs
+     * in submission order. Lines use the src/online grammar
+     * (admit/remove only); session indices are < numSessions.
+     */
+    std::vector<std::pair<int, std::string>> multiOps;
 
     /** Allocation object for this case's task placement. */
     TaskAllocation makeAllocation(const Topology &topo) const;

@@ -211,5 +211,55 @@ generateCase(std::uint64_t seed)
     return c;
 }
 
+FuzzCase
+generateMultiCase(std::uint64_t seed)
+{
+    FuzzCase c = generateCase(seed);
+    // The daemon lines run on the healthy fabric, replace the
+    // single-service churn dimension, and use a timing model
+    // without the packet grid (SessionConfig has no packet knob).
+    c.faultSpec.clear();
+    c.churnOps.clear();
+    c.tm.packetBytes = 0.0;
+
+    // Salted stream: the multi draws must not correlate with the
+    // base case's draws for the same seed.
+    Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
+    c.numSessions = rng.uniformInt(2, 4);
+
+    // Ops mirror the churn dimension's well-formedness rules per
+    // session: existing tasks, forward edges (task ids are in
+    // topological order), names unique within their session.
+    std::vector<std::vector<std::string>> live(
+        static_cast<std::size_t>(c.numSessions));
+    for (auto &names : live)
+        for (MessageId m = 0; m < c.g.numMessages(); ++m)
+            names.push_back(c.g.message(m).name);
+    const int nops = rng.uniformInt(2, 8);
+    int next = 0;
+    for (int i = 0; i < nops; ++i) {
+        const int k = rng.uniformInt(0, c.numSessions - 1);
+        auto &names = live[static_cast<std::size_t>(k)];
+        if (!names.empty() && rng.chance(0.35)) {
+            const std::size_t j = rng.index(names.size());
+            c.multiOps.emplace_back(k, "remove " + names[j]);
+            names.erase(names.begin() +
+                        static_cast<std::ptrdiff_t>(j));
+            continue;
+        }
+        const int a = rng.uniformInt(0, c.g.numTasks() - 2);
+        const int b =
+            rng.uniformInt(a + 1, c.g.numTasks() - 1);
+        const std::string name = "zm" + std::to_string(next++);
+        c.multiOps.emplace_back(
+            k, "admit " + name + " " +
+                   c.g.task(static_cast<TaskId>(a)).name + " " +
+                   c.g.task(static_cast<TaskId>(b)).name + " " +
+                   std::to_string(rng.uniformInt(32, 4096)));
+        names.push_back(name);
+    }
+    return c;
+}
+
 } // namespace fuzz
 } // namespace srsim

@@ -25,6 +25,16 @@ namespace fuzz {
 /** Generate the case determined by `seed`. */
 FuzzCase generateCase(std::uint64_t seed);
 
+/**
+ * Generate the multi-session daemon variant of `seed`'s case: the
+ * same workload and knobs, served by 2..4 daemon sessions with a
+ * random admit/remove sequence spread across them (fuzz/multi.hh's
+ * crash-recovery oracle). Separate from generateCase() so the
+ * default seed stream — and every pinned corpus verdict — is
+ * untouched.
+ */
+FuzzCase generateMultiCase(std::uint64_t seed);
+
 } // namespace fuzz
 } // namespace srsim
 

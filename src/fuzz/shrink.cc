@@ -203,7 +203,48 @@ shrinkCase(const FuzzCase &c, const StillFails &stillFails,
             }
         }
 
-        // Pass 5: knob simplifications (each only if the bug
+        // Pass 5: multi-session minimization — the whole daemon
+        // dimension first (a bug that reproduces without the
+        // daemon is an online/compiler bug and the case degrades
+        // to the batch or churn runner), then trailing sessions
+        // (with their ops), then one op at a time from the end.
+        if (best.numSessions > 0) {
+            FuzzCase cand = best;
+            const int had =
+                static_cast<int>(best.multiOps.size());
+            cand.numSessions = 0;
+            cand.multiOps.clear();
+            if (tryCase(cand)) {
+                st.multiOpsRemoved += had;
+                changed = true;
+            }
+        }
+        while (best.numSessions > 1 &&
+               st.evaluations < maxEvaluations) {
+            FuzzCase cand = best;
+            --cand.numSessions;
+            std::erase_if(cand.multiOps, [&](const auto &op) {
+                return op.first >= cand.numSessions;
+            });
+            if (!tryCase(cand))
+                break;
+            ++st.knobsSimplified;
+            changed = true;
+        }
+        for (std::size_t i = best.multiOps.size(); i-- > 0;) {
+            if (i >= best.multiOps.size())
+                continue;
+            FuzzCase cand = best;
+            cand.multiOps.erase(
+                cand.multiOps.begin() +
+                static_cast<std::ptrdiff_t>(i));
+            if (tryCase(cand)) {
+                ++st.multiOpsRemoved;
+                changed = true;
+            }
+        }
+
+        // Pass 6: knob simplifications (each only if the bug
         // survives without it).
         auto simplify = [&](auto mutate) {
             FuzzCase cand = best;

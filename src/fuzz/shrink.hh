@@ -6,9 +6,11 @@
  * shrinker greedily removes structure while the predicate holds:
  * first whole messages, then whole tasks (with their incident
  * messages), then fault events, then churn ops (the whole sequence
- * first, then one request at a time), then knob simplifications
- * (feedback off, restarts off, guard off, packet grid off, plain LP
- * methods). Passes repeat to a fixpoint under a budget on predicate
+ * first, then one request at a time), then the multi-session daemon
+ * dimension (whole dimension, then trailing sessions, then one op
+ * at a time), then knob simplifications (feedback off, restarts
+ * off, guard off, packet grid off, plain LP methods). Passes repeat
+ * to a fixpoint under a budget on predicate
  * evaluations, so a corpus case is close to minimal and cheap to
  * re-run forever.
  */
@@ -35,6 +37,7 @@ struct ShrinkStats
     int tasksRemoved = 0;
     int knobsSimplified = 0;
     int churnOpsRemoved = 0;
+    int multiOpsRemoved = 0;
 };
 
 /** Copy of `c` without message `m` (ids renumbered). */

@@ -3,6 +3,8 @@
 #include <iomanip>
 #include <sstream>
 
+#include "metrics/metrics.hh"
+
 namespace srsim {
 namespace online {
 
@@ -77,35 +79,96 @@ ScheduleCache::ScheduleCache(std::size_t capacity)
 {
 }
 
-const ScheduleCache::Entry *
+std::uint64_t
+ScheduleCache::entryBytes(const std::string &key, const Entry &entry)
+{
+    // Approximate resident size: the key string plus the schedule's
+    // variable-length payload (path hops and segment windows). The
+    // point is monotone accounting that eviction can subtract
+    // exactly, not a malloc-accurate byte count.
+    std::uint64_t n = key.size() + sizeof(Entry);
+    for (const Path &p : entry.omega.paths.paths)
+        n += p.nodes.size() * sizeof(NodeId) +
+             p.links.size() * sizeof(LinkId);
+    for (const auto &segs : entry.omega.segments)
+        n += segs.size() * sizeof(TimeWindow);
+    n += entry.omega.faultSpec.size();
+    return n;
+}
+
+void
+ScheduleCache::publishBytesGauge()
+{
+    if (SRSIM_METRICS_ENABLED())
+        metrics::Registry::global()
+            .gauge("cache.bytes")
+            .set(static_cast<double>(bytes_.load()));
+}
+
+std::size_t
+ScheduleCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return map_.size();
+}
+
+std::shared_ptr<const ScheduleCache::Entry>
 ScheduleCache::lookup(const std::string &key)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     auto it = map_.find(key);
     if (it == map_.end()) {
-        ++misses_;
+        misses_.fetch_add(1);
         return nullptr;
     }
-    ++hits_;
+    hits_.fetch_add(1);
     lru_.splice(lru_.begin(), lru_, it->second);
-    return &it->second->second;
+    return it->second->second;
 }
 
 void
 ScheduleCache::insert(const std::string &key, Entry entry)
 {
+    const std::uint64_t add = entryBytes(key, entry);
+    auto node = std::make_shared<const Entry>(std::move(entry));
+    std::lock_guard<std::mutex> lock(mu_);
     auto it = map_.find(key);
     if (it != map_.end()) {
-        it->second->second = std::move(entry);
+        // Replace in place: subtract the old payload's bytes so the
+        // accounting stays exact across refreshes.
+        bytes_.fetch_sub(entryBytes(key, *it->second->second));
+        bytes_.fetch_add(add);
+        it->second->second = std::move(node);
         lru_.splice(lru_.begin(), lru_, it->second);
+        publishBytesGauge();
         return;
     }
-    lru_.emplace_front(key, std::move(entry));
+    lru_.emplace_front(key, std::move(node));
     map_[key] = lru_.begin();
+    bytes_.fetch_add(add);
     while (map_.size() > capacity_) {
-        map_.erase(lru_.back().first);
+        const Node &victim = lru_.back();
+        bytes_.fetch_sub(entryBytes(victim.first, *victim.second));
+        map_.erase(victim.first);
         lru_.pop_back();
-        ++evictions_;
+        evictions_.fetch_add(1);
+        if (SRSIM_METRICS_ENABLED())
+            metrics::Registry::global()
+                .counter("cache.evictions")
+                .add(1);
     }
+    publishBytesGauge();
+}
+
+std::vector<ScheduleCache::DumpedEntry>
+ScheduleCache::dumpForSnapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<DumpedEntry> out;
+    out.reserve(lru_.size());
+    for (const Node &node : lru_)
+        out.push_back({node.first, *node.second});
+    return out;
 }
 
 } // namespace online

@@ -9,22 +9,36 @@
  * depends on (fabric + fault mask, timing model, compiler knobs,
  * tasks, placement, and messages in id order) — to the compiled,
  * verifier-certified schedule. Bounded LRU; hit/miss/eviction
- * counts feed the online.* metrics.
+ * counts feed the online.* / cache.* metrics.
  *
  * The key is order-sensitive on messages by design: segment row i of
  * a GlobalSchedule indexes the i-th *network* message in TFG id
  * order, so two workloads with the same message set but different
  * id order are different cache entries.
+ *
+ * Thread-safety: every method is safe to call concurrently. The
+ * scheduling daemon shares one cache across many sessions, each
+ * served by its own worker thread; lookups return an immutable
+ * shared_ptr snapshot so an entry stays valid even if it is evicted
+ * while the caller still holds it. Because the key serializes the
+ * *entire* compile problem (including the fabric name and fault
+ * mask) and the compiler is a deterministic function of the key, a
+ * hit from any session republishes exactly the bytes a fresh
+ * compile would have produced.
  */
 
 #ifndef SRSIM_ONLINE_CACHE_HH_
 #define SRSIM_ONLINE_CACHE_HH_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "core/schedule.hh"
 #include "core/sr_compiler.hh"
@@ -66,31 +80,57 @@ class ScheduleCache
 
     /**
      * @return the entry for `key` (bumped to most-recently-used),
-     *         or nullptr on a miss. The pointer is valid until the
-     *         next insert().
+     *         or nullptr on a miss. The returned snapshot stays
+     *         valid even if the entry is evicted concurrently.
      */
-    const Entry *lookup(const std::string &key);
+    std::shared_ptr<const Entry> lookup(const std::string &key);
 
     /** Insert (or refresh) an entry, evicting the LRU tail. */
     void insert(const std::string &key, Entry entry);
 
-    std::size_t size() const { return map_.size(); }
+    /** One dumped (key, entry) pair for snapshotting. */
+    struct DumpedEntry
+    {
+        std::string key;
+        Entry entry;
+    };
+
+    /**
+     * Copy of the whole cache, most-recently-used first. The cache
+     * image is part of a daemon's byte-level history: a WAL-suffix
+     * replay reproduces the original run's published bytes only if
+     * it also reproduces the original run's hits, so snapshots
+     * persist the cache and recovery re-seeds it (LRU order and
+     * all) before replaying.
+     */
+    std::vector<DumpedEntry> dumpForSnapshot() const;
+
+    std::size_t size() const;
     std::size_t capacity() const { return capacity_; }
-    std::uint64_t hits() const { return hits_; }
-    std::uint64_t misses() const { return misses_; }
-    std::uint64_t evictions() const { return evictions_; }
+    std::uint64_t hits() const { return hits_.load(); }
+    std::uint64_t misses() const { return misses_.load(); }
+    std::uint64_t evictions() const { return evictions_.load(); }
+    /** Approximate resident payload bytes (keys + schedules). */
+    std::uint64_t bytes() const { return bytes_.load(); }
 
   private:
-    std::size_t capacity_;
+    /** Approximate payload size of one (key, entry) pair. */
+    static std::uint64_t entryBytes(const std::string &key,
+                                    const Entry &entry);
+    /** Re-publish bytes_ to the cache.bytes gauge (mu_ held). */
+    void publishBytesGauge();
+
+    using Node = std::pair<std::string, std::shared_ptr<const Entry>>;
+
+    const std::size_t capacity_;
+    mutable std::mutex mu_;
     /** Most-recently-used at the front. */
-    std::list<std::pair<std::string, Entry>> lru_;
-    std::unordered_map<
-        std::string,
-        std::list<std::pair<std::string, Entry>>::iterator>
-        map_;
-    std::uint64_t hits_ = 0;
-    std::uint64_t misses_ = 0;
-    std::uint64_t evictions_ = 0;
+    std::list<Node> lru_;
+    std::unordered_map<std::string, std::list<Node>::iterator> map_;
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+    std::atomic<std::uint64_t> evictions_{0};
+    std::atomic<std::uint64_t> bytes_{0};
 };
 
 } // namespace online

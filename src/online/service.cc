@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "core/incremental.hh"
+#include "core/subsets.hh"
 #include "core/verifier.hh"
 #include "fault/fault.hh"
 #include "metrics/metrics.hh"
@@ -134,7 +135,12 @@ OnlineScheduler::OnlineScheduler(TaskFlowGraph g,
       alloc_(std::move(alloc)),
       tm_(tm),
       cfg_(std::move(cfg)),
-      cache_(cfg_.cacheCapacity == 0 ? 1 : cfg_.cacheCapacity)
+      cache_(cfg_.sharedCache
+                 ? cfg_.sharedCache
+                 : std::make_shared<ScheduleCache>(
+                       cfg_.cacheCapacity == 0
+                           ? 1
+                           : cfg_.cacheCapacity))
 {
 }
 
@@ -312,13 +318,23 @@ OnlineScheduler::solveWorkload(const TaskFlowGraph &g2, Time period,
     std::string key;
     if (cfg_.cacheCapacity > 0) {
         key = canonicalWorkloadKey(g2, *topo_, alloc_, tm_, ccfg);
-        if (const ScheduleCache::Entry *e = cache_.lookup(key)) {
+        if (const auto e = cache_->lookup(key)) {
             bump("online.cache_hits");
             auto next = std::make_shared<PublishedState>();
             next->g = g2;
             next->bounds = std::move(bounds2);
             next->intervals.emplace(next->bounds);
             next->omega = e->omega;
+            // Stamp this session's own provenance: on a shared
+            // cache the entry may have been compiled by a session
+            // whose fault-spec *string* (or stretch history)
+            // differs even though the canonical key — and hence the
+            // schedule — is identical. Republishing must serialize
+            // exactly what a no-cache solve would have.
+            next->omega.faultSpec = faultSpecAccum_;
+            if (const auto prior = published())
+                next->omega.degradedFrom =
+                    prior->omega.degradedFrom;
             next->verification.ok = true;
             next->numSubsets = e->numSubsets;
             next->peakUtilization = e->peakUtilization;
@@ -432,7 +448,7 @@ OnlineScheduler::solveWorkload(const TaskFlowGraph &g2, Time period,
                     res.subsetsCopied = inc.subsetsCopied;
                     res.peakUtilization = next->peakUtilization;
                     if (cfg_.cacheCapacity > 0)
-                        cache_.insert(
+                        cache_->insert(
                             key, {next->omega, next->numSubsets,
                                   next->peakUtilization});
                     out.ok = true;
@@ -471,8 +487,8 @@ OnlineScheduler::solveWorkload(const TaskFlowGraph &g2, Time period,
     res.subsetsResolved = comp.numSubsets;
     res.peakUtilization = next->peakUtilization;
     if (cfg_.cacheCapacity > 0)
-        cache_.insert(key, {next->omega, next->numSubsets,
-                            next->peakUtilization});
+        cache_->insert(key, {next->omega, next->numSubsets,
+                             next->peakUtilization});
     out.ok = true;
     out.next = std::move(next);
     return out;
@@ -497,6 +513,85 @@ OnlineScheduler::start()
         res.accepted = true;
     }
     return finish(res, "start", t0, false);
+}
+
+RequestResult
+OnlineScheduler::restore(const GlobalSchedule &omega,
+                         const std::string &faultSpecAccum)
+{
+    const double t0 = trace::Tracer::nowWallUs();
+    RequestResult res;
+    res.period = omega.period;
+    const auto reject = [&](RejectReason r, std::string detail) {
+        topo_->clearFaults();
+        res.reason = r;
+        res.detail = std::move(detail);
+        return finish(res, "restore", t0, false);
+    };
+    if (started())
+        return reject(RejectReason::InvalidRequest,
+                      "service already started");
+    if (!(omega.period > 0.0))
+        return reject(RejectReason::InvalidRequest,
+                      "restored schedule has no period");
+
+    // Re-degrade the fabric exactly as the accumulated fault
+    // history left it; the snapshot's schedule was compiled against
+    // that mask, so verification below must see it too.
+    if (!faultSpecAccum.empty()) {
+        try {
+            fault::applyFaultSpec(faultSpecAccum, *topo_);
+        } catch (const FatalError &e) {
+            return reject(RejectReason::InvalidRequest, e.what());
+        }
+    }
+
+    TimeBounds bounds;
+    try {
+        bounds = computeTimeBounds(g_, alloc_, tm_, omega.period);
+    } catch (const FatalError &e) {
+        return reject(RejectReason::InvalidRequest, e.what());
+    }
+
+    auto next = std::make_shared<PublishedState>();
+    next->g = g_;
+    next->omega = omega;
+    if (bounds.messages.empty()) {
+        // Degenerate workload (no network messages): nothing to
+        // verify, the schedule must be empty too.
+        if (!omega.segments.empty())
+            return reject(RejectReason::VerificationFailed,
+                          "restored schedule has segments but the "
+                          "workload has no network messages");
+        next->bounds = std::move(bounds);
+        next->verification.ok = true;
+    } else {
+        const VerifyResult ver =
+            verifySchedule(g_, *topo_, alloc_, bounds, omega);
+        if (!ver.ok)
+            return reject(RejectReason::VerificationFailed,
+                          ver.violations.empty()
+                              ? "restored schedule failed "
+                                "verification"
+                              : ver.violations.front());
+        IntervalSet ivs(bounds);
+        next->numSubsets =
+            computeMaximalSubsets(bounds, ivs, omega.paths).size();
+        next->peakUtilization =
+            UtilizationAnalyzer(bounds, ivs, *topo_)
+                .analyze(omega.paths)
+                .peak;
+        next->bounds = std::move(bounds);
+        next->intervals = std::move(ivs);
+        next->verification = ver;
+    }
+    res.subsetsTotal = next->numSubsets;
+    res.subsetsCopied = next->numSubsets;
+    res.peakUtilization = next->peakUtilization;
+    faultSpecAccum_ = faultSpecAccum;
+    publish(std::move(next), omega.period);
+    res.accepted = true;
+    return finish(res, "restore", t0, false);
 }
 
 RequestResult

@@ -55,6 +55,13 @@ struct OnlineSchedulerConfig
     /** Schedule cache capacity (entries); 0 disables the cache. */
     std::size_t cacheCapacity = 64;
     /**
+     * When set, use this (thread-safe) cache instead of a private
+     * one — the scheduling daemon shares one cache across sessions.
+     * cacheCapacity still gates per-service use: 0 disables lookups
+     * for this service even on a shared cache.
+     */
+    std::shared_ptr<ScheduleCache> sharedCache;
+    /**
      * Probe stretched periods on rejection so the caller learns the
      * smallest feasible period (RejectReason::PeriodStretchRequired).
      */
@@ -98,6 +105,21 @@ class OnlineScheduler
     /** Compile + publish the initial schedule. */
     RequestResult start();
 
+    /**
+     * Publish a previously compiled schedule without recompiling:
+     * re-apply the accumulated fault spec to the fabric, recompute
+     * the (route-free) bounds and intervals for the constructed
+     * workload, and re-verify `omega` against them. Used by crash
+     * recovery to restore a snapshot; the caller then replays the
+     * WAL suffix through process(). Rejects (VerificationFailed /
+     * InvalidRequest) when the schedule does not certify against
+     * this workload — recovery then falls back to a full replay.
+     * Only valid before start(); on success the service behaves as
+     * if it had compiled and published `omega` itself (version 1).
+     */
+    RequestResult restore(const GlobalSchedule &omega,
+                          const std::string &faultSpecAccum);
+
     /** Dispatch on Request::kind. */
     RequestResult process(const Request &r);
 
@@ -114,7 +136,7 @@ class OnlineScheduler
 
     bool started() const { return published() != nullptr; }
 
-    const ScheduleCache &cache() const { return cache_; }
+    const ScheduleCache &cache() const { return *cache_; }
     const Topology &topology() const { return *topo_; }
     const TaskAllocation &allocation() const { return alloc_; }
     const TimingModel &timing() const { return tm_; }
@@ -139,7 +161,7 @@ class OnlineScheduler
     TaskAllocation alloc_;
     TimingModel tm_;
     OnlineSchedulerConfig cfg_;
-    ScheduleCache cache_;
+    std::shared_ptr<ScheduleCache> cache_;
     /** Accumulated static fault specs applied so far (';'-joined). */
     std::string faultSpecAccum_;
 

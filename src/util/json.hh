@@ -34,6 +34,20 @@ class JsonWriter
     JsonWriter(const JsonWriter &) = delete;
     JsonWriter &operator=(const JsonWriter &) = delete;
 
+    /**
+     * Print doubles with %.17g (exact double round-trip) instead
+     * of the default %.12g. Documents that feed computation back
+     * in — the daemon WAL, whose replay must recompile with
+     * bit-identical inputs — need this; human-facing reports do
+     * not.
+     */
+    JsonWriter &
+    fullPrecision()
+    {
+        fullPrecision_ = true;
+        return *this;
+    }
+
     JsonWriter &
     beginObject()
     {
@@ -107,7 +121,8 @@ class JsonWriter
             os_ << "null";
         } else {
             char buf[40];
-            std::snprintf(buf, sizeof(buf), "%.12g", v);
+            std::snprintf(buf, sizeof(buf),
+                          fullPrecision_ ? "%.17g" : "%.12g", v);
             os_ << buf;
         }
         return *this;
@@ -206,6 +221,7 @@ class JsonWriter
     std::ostream &os_;
     std::vector<Frame> stack_;
     bool pendingValue_ = false;
+    bool fullPrecision_ = false;
 };
 
 } // namespace srsim

@@ -1,264 +1,14 @@
 /**
  * @file
- * Minimal recursive-descent JSON parser for structural validation
- * of srsim's exporters in tests. Supports the full JSON grammar the
- * exporters emit (objects, arrays, strings with escapes, numbers,
- * booleans, null); it is not a general-purpose library — errors
- * throw std::runtime_error with a byte offset, which gtest reports.
+ * Historical alias: the minimal JSON parser started life here as a
+ * test-only helper; the daemon's WAL reader promoted it into
+ * src/util. Tests keep including this header (and the srsim::
+ * jsonmini namespace) unchanged.
  */
 
 #ifndef SRSIM_TESTS_JSON_MINI_HH_
 #define SRSIM_TESTS_JSON_MINI_HH_
 
-#include <cctype>
-#include <cstdlib>
-#include <map>
-#include <memory>
-#include <stdexcept>
-#include <string>
-#include <vector>
-
-namespace srsim {
-namespace jsonmini {
-
-struct Value;
-using ValuePtr = std::shared_ptr<Value>;
-
-struct Value
-{
-    enum class Kind { Object, Array, String, Number, Bool, Null };
-    Kind kind = Kind::Null;
-
-    std::map<std::string, ValuePtr> object;
-    std::vector<ValuePtr> array;
-    std::string string;
-    double number = 0.0;
-    bool boolean = false;
-
-    bool has(const std::string &k) const { return object.count(k); }
-
-    const Value &
-    at(const std::string &k) const
-    {
-        auto it = object.find(k);
-        if (it == object.end())
-            throw std::runtime_error("missing key '" + k + "'");
-        return *it->second;
-    }
-};
-
-class Parser
-{
-  public:
-    explicit Parser(const std::string &text) : s_(text) {}
-
-    ValuePtr
-    parse()
-    {
-        ValuePtr v = parseValue();
-        skipWs();
-        if (pos_ != s_.size())
-            fail("trailing data");
-        return v;
-    }
-
-  private:
-    [[noreturn]] void
-    fail(const std::string &what) const
-    {
-        throw std::runtime_error("JSON error at byte " +
-                                 std::to_string(pos_) + ": " + what);
-    }
-
-    void
-    skipWs()
-    {
-        while (pos_ < s_.size() &&
-               std::isspace(static_cast<unsigned char>(s_[pos_])))
-            ++pos_;
-    }
-
-    char
-    peek()
-    {
-        skipWs();
-        if (pos_ >= s_.size())
-            fail("unexpected end");
-        return s_[pos_];
-    }
-
-    void
-    expect(char c)
-    {
-        if (peek() != c)
-            fail(std::string("expected '") + c + "', got '" +
-                 s_[pos_] + "'");
-        ++pos_;
-    }
-
-    ValuePtr
-    parseValue()
-    {
-        const char c = peek();
-        if (c == '{')
-            return parseObject();
-        if (c == '[')
-            return parseArray();
-        if (c == '"')
-            return parseString();
-        if (c == 't' || c == 'f')
-            return parseBool();
-        if (c == 'n')
-            return parseNull();
-        return parseNumber();
-    }
-
-    ValuePtr
-    parseObject()
-    {
-        auto v = std::make_shared<Value>();
-        v->kind = Value::Kind::Object;
-        expect('{');
-        if (peek() == '}') {
-            ++pos_;
-            return v;
-        }
-        for (;;) {
-            ValuePtr key = parseString();
-            expect(':');
-            v->object[key->string] = parseValue();
-            if (peek() == ',') {
-                ++pos_;
-                continue;
-            }
-            expect('}');
-            return v;
-        }
-    }
-
-    ValuePtr
-    parseArray()
-    {
-        auto v = std::make_shared<Value>();
-        v->kind = Value::Kind::Array;
-        expect('[');
-        if (peek() == ']') {
-            ++pos_;
-            return v;
-        }
-        for (;;) {
-            v->array.push_back(parseValue());
-            if (peek() == ',') {
-                ++pos_;
-                continue;
-            }
-            expect(']');
-            return v;
-        }
-    }
-
-    ValuePtr
-    parseString()
-    {
-        auto v = std::make_shared<Value>();
-        v->kind = Value::Kind::String;
-        expect('"');
-        while (pos_ < s_.size() && s_[pos_] != '"') {
-            char c = s_[pos_++];
-            if (c != '\\') {
-                v->string += c;
-                continue;
-            }
-            if (pos_ >= s_.size())
-                fail("dangling escape");
-            const char e = s_[pos_++];
-            switch (e) {
-              case '"': v->string += '"'; break;
-              case '\\': v->string += '\\'; break;
-              case '/': v->string += '/'; break;
-              case 'b': v->string += '\b'; break;
-              case 'f': v->string += '\f'; break;
-              case 'n': v->string += '\n'; break;
-              case 'r': v->string += '\r'; break;
-              case 't': v->string += '\t'; break;
-              case 'u': {
-                  if (pos_ + 4 > s_.size())
-                      fail("short \\u escape");
-                  // Validation only: keep the raw escape text.
-                  v->string += "\\u" + s_.substr(pos_, 4);
-                  pos_ += 4;
-                  break;
-              }
-              default: fail("bad escape");
-            }
-        }
-        if (pos_ >= s_.size())
-            fail("unterminated string");
-        ++pos_; // closing quote
-        return v;
-    }
-
-    ValuePtr
-    parseNumber()
-    {
-        skipWs();
-        const std::size_t start = pos_;
-        while (pos_ < s_.size() &&
-               (std::isdigit(
-                    static_cast<unsigned char>(s_[pos_])) ||
-                s_[pos_] == '-' || s_[pos_] == '+' ||
-                s_[pos_] == '.' || s_[pos_] == 'e' ||
-                s_[pos_] == 'E'))
-            ++pos_;
-        if (pos_ == start)
-            fail("expected number");
-        auto v = std::make_shared<Value>();
-        v->kind = Value::Kind::Number;
-        char *end = nullptr;
-        const std::string tok = s_.substr(start, pos_ - start);
-        v->number = std::strtod(tok.c_str(), &end);
-        if (!end || *end != '\0')
-            fail("malformed number '" + tok + "'");
-        return v;
-    }
-
-    ValuePtr
-    parseBool()
-    {
-        auto v = std::make_shared<Value>();
-        v->kind = Value::Kind::Bool;
-        if (s_.compare(pos_, 4, "true") == 0) {
-            v->boolean = true;
-            pos_ += 4;
-        } else if (s_.compare(pos_, 5, "false") == 0) {
-            v->boolean = false;
-            pos_ += 5;
-        } else {
-            fail("expected boolean");
-        }
-        return v;
-    }
-
-    ValuePtr
-    parseNull()
-    {
-        if (s_.compare(pos_, 4, "null") != 0)
-            fail("expected null");
-        pos_ += 4;
-        return std::make_shared<Value>();
-    }
-
-    const std::string &s_;
-    std::size_t pos_ = 0;
-};
-
-inline ValuePtr
-parse(const std::string &text)
-{
-    return Parser(text).parse();
-}
-
-} // namespace jsonmini
-} // namespace srsim
+#include "util/json_read.hh"
 
 #endif // SRSIM_TESTS_JSON_MINI_HH_

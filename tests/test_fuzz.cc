@@ -251,6 +251,90 @@ TEST(FuzzShrinkTest, ClearsChurnWhenChurnIsIrrelevant)
     EXPECT_TRUE(min.churnOps.empty());
 }
 
+TEST(FuzzGeneratorTest, MultiCasesAreWellFormed)
+{
+    for (std::uint64_t seed = 0; seed < 20; ++seed) {
+        const fuzz::FuzzCase c = fuzz::generateMultiCase(seed);
+        EXPECT_GE(c.numSessions, 2) << "seed " << seed;
+        EXPECT_LE(c.numSessions, 4) << "seed " << seed;
+        // The daemon lines run on the healthy fabric with no
+        // packet grid (see fuzz/multi.hh).
+        EXPECT_TRUE(c.faultSpec.empty()) << "seed " << seed;
+        EXPECT_TRUE(c.churnOps.empty()) << "seed " << seed;
+        EXPECT_EQ(c.tm.packetBytes, 0.0) << "seed " << seed;
+        EXPECT_FALSE(c.multiOps.empty()) << "seed " << seed;
+        for (const auto &[k, op] : c.multiOps) {
+            EXPECT_GE(k, 0) << "seed " << seed;
+            EXPECT_LT(k, c.numSessions) << "seed " << seed;
+            EXPECT_TRUE(op.rfind("admit ", 0) == 0 ||
+                        op.rfind("remove ", 0) == 0)
+                << "seed " << seed << ": odd multi op '" << op
+                << "'";
+        }
+    }
+}
+
+TEST(FuzzCaseTest, MultiOpsRoundTripThroughText)
+{
+    const fuzz::FuzzCase c = fuzz::generateMultiCase(1);
+    std::ostringstream os;
+    fuzz::writeFuzzCase(os, c);
+    std::istringstream is(os.str());
+    const fuzz::FuzzCase d = fuzz::readFuzzCase(is);
+    EXPECT_EQ(d.numSessions, c.numSessions);
+    EXPECT_EQ(d.multiOps, c.multiOps);
+}
+
+TEST(FuzzMultiTest, MultiSeedsReplayClean)
+{
+    // A few seeds through the daemon crash-recovery oracle: zero
+    // divergences. (CI's srfuzz_smoke --multi runs far more.)
+    for (std::uint64_t seed = 0; seed < 3; ++seed) {
+        const fuzz::RunResult r =
+            fuzz::runCase(fuzz::generateMultiCase(seed));
+        EXPECT_FALSE(r.failed())
+            << "multi seed " << seed << ": " << r.report;
+    }
+}
+
+TEST(FuzzShrinkTest, DropsIrrelevantMultiOps)
+{
+    // Predicate: "fails" whenever the op admitting 'zkeep' is
+    // present. The multi pass must drop every other op and shed
+    // the sessions nothing references.
+    fuzz::FuzzCase c = fuzz::generateCase(3);
+    c.numSessions = 3;
+    c.multiOps = {{1, "admit zdrop1 t0 t1 64"},
+                  {0, "admit zkeep t0 t1 64"},
+                  {2, "remove zdrop1"},
+                  {0, "admit zdrop2 t0 t1 64"}};
+    const auto stillFails = [](const fuzz::FuzzCase &cand) {
+        for (const auto &[k, op] : cand.multiOps)
+            if (op.find("zkeep") != std::string::npos)
+                return true;
+        return false;
+    };
+    fuzz::ShrinkStats st;
+    const fuzz::FuzzCase min =
+        fuzz::shrinkCase(c, stillFails, 400, &st);
+    ASSERT_EQ(min.multiOps.size(), 1u);
+    EXPECT_EQ(min.multiOps[0].second, "admit zkeep t0 t1 64");
+    EXPECT_EQ(min.numSessions, 1);
+    EXPECT_GT(st.multiOpsRemoved, 0);
+}
+
+TEST(FuzzShrinkTest, ClearsMultiWhenTheDaemonIsIrrelevant)
+{
+    // Predicate ignores the daemon dimension entirely: the
+    // whole-dimension drop must fire, degrading the case to a
+    // batch run.
+    fuzz::FuzzCase c = fuzz::generateMultiCase(3);
+    const fuzz::FuzzCase min = fuzz::shrinkCase(
+        c, [](const fuzz::FuzzCase &) { return true; }, 400);
+    EXPECT_EQ(min.numSessions, 0);
+    EXPECT_TRUE(min.multiOps.empty());
+}
+
 TEST(FuzzCorpusTest, EveryCorpusCaseReplaysClean)
 {
     const std::filesystem::path dir(SRSIM_CORPUS_DIR);

@@ -78,7 +78,9 @@ usage()
         "  srfuzz --emit-seed N            (print a case)\n"
         "  srfuzz --corpus DIR\n"
         "common: [--invocations N] [--max-shrink-evals N]\n"
-        "        [--no-shrink] [--quiet]\n"
+        "        [--no-shrink] [--quiet] [--multi]\n"
+        "--multi draws multi-session daemon cases (crash-recovery\n"
+        "oracle) instead of batch/churn cases.\n"
         "Flags also accept --key=value.\n";
     return 2;
 }
@@ -161,7 +163,9 @@ runSeed(std::uint64_t seed, const Options &opts, const bool quiet)
 {
     const fuzz::RunOptions run_opts{
         static_cast<int>(opts.num("invocations", 30)), 5, 1e-6};
-    const fuzz::FuzzCase c = fuzz::generateCase(seed);
+    const fuzz::FuzzCase c = opts.has("multi")
+                                 ? fuzz::generateMultiCase(seed)
+                                 : fuzz::generateCase(seed);
     const fuzz::RunResult r = fuzz::runCase(c, run_opts);
     if (r.failed()) {
         std::cerr << "seed " << seed << " FAILURE: " << r.report
@@ -263,7 +267,10 @@ cmdEmit(const Options &opts)
     // can be reviewed and checked in under tests/corpus/.
     const auto seed =
         static_cast<std::uint64_t>(opts.num("emit-seed", 0));
-    fuzz::writeFuzzCase(std::cout, fuzz::generateCase(seed));
+    fuzz::writeFuzzCase(std::cout,
+                        opts.has("multi")
+                            ? fuzz::generateMultiCase(seed)
+                            : fuzz::generateCase(seed));
     return 0;
 }
 
@@ -305,7 +312,7 @@ main(int argc, char **argv)
         if (eq != std::string::npos) {
             opts.kv[arg.substr(0, eq)] = arg.substr(eq + 1);
         } else if (arg == "no-shrink" || arg == "quiet" ||
-                   arg == "shrink") {
+                   arg == "shrink" || arg == "multi") {
             opts.kv[arg] = "1";
         } else if (i + 1 < argc) {
             opts.kv[arg] = argv[++i];

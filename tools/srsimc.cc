@@ -55,6 +55,8 @@
 #include "online/cache.hh"
 #include "online/script.hh"
 #include "online/service.hh"
+#include "server/daemon.hh"
+#include "server/protocol.hh"
 #include "tfg/tfg_io.hh"
 #include "tfg/timing.hh"
 #include "topology/factory.hh"
@@ -110,8 +112,14 @@ usage()
         "  srsimc serve --tfg FILE --topo SPEC --period US\n"
         "         [--bandwidth B] [--ap-speed S] [--alloc KIND]\n"
         "         [--feedback N] [--guard T] [--seed S]\n"
-        "         [--script FILE] [--cache N] [--no-cache]\n"
+        "         [--script FILE] [--cache-cap N] [--no-cache]\n"
         "         [--preload FILE] [--out FILE]\n"
+        "         [--trace FILE] [--trace-format chrome|csv]\n"
+        "         [--metrics FILE]\n"
+        "  srsimc daemon [--script FILE | --stdin]\n"
+        "         [--state-dir DIR] [--workers N] [--queue-cap K]\n"
+        "         [--snapshot-every M] [--wal-sync-every W]\n"
+        "         [--deadline-ms D] [--cache-cap N] [--out FILE]\n"
         "         [--trace FILE] [--trace-format chrome|csv]\n"
         "         [--metrics FILE]\n"
         "Flags also accept --key=value; unknown flags are rejected.\n"
@@ -143,8 +151,13 @@ knownFlags()
             m["simulate"].insert({"vc", "invocations"});
             m["serve"] = common;
             m["serve"].insert({"feedback", "guard", "script",
-                               "cache", "no-cache", "preload",
-                               "out"});
+                               "cache", "cache-cap", "no-cache",
+                               "preload", "out"});
+            m["daemon"] = {"script", "stdin", "state-dir",
+                           "workers", "queue-cap",
+                           "snapshot-every", "wal-sync-every",
+                           "deadline-ms", "cache-cap", "out",
+                           "trace", "trace-format", "metrics"};
             return m;
         }();
     return k;
@@ -564,10 +577,13 @@ cmdServe(const Options &opts)
     cfg.compiler.scheduling.guardTime = opts.num("guard", 0.0);
     cfg.compiler.assign.seed =
         static_cast<std::uint64_t>(opts.num("seed", 12345));
+    // --cache-cap is the canonical spelling; --cache stays as an
+    // alias for older scripts.
     cfg.cacheCapacity =
         opts.has("no-cache")
             ? 0
-            : static_cast<std::size_t>(opts.num("cache", 64));
+            : static_cast<std::size_t>(opts.num(
+                  "cache-cap", opts.num("cache", 64)));
 
     // Parse the whole script up front so a malformed line is a
     // usage error before any request mutates the service.
@@ -675,16 +691,23 @@ cmdServe(const Options &opts)
         w.kv("misses", cache.misses());
         w.kv("evictions", cache.evictions());
         w.kv("entries", static_cast<std::uint64_t>(cache.size()));
+        w.kv("bytes", cache.bytes());
         w.kv("hitRate",
              lookups == 0
                  ? 0.0
                  : static_cast<double>(cache.hits()) /
                        static_cast<double>(lookups));
         w.endObject();
+        // An empty script (or one with no admits) has no latency
+        // distribution; emit the count and no fabricated zeros.
         w.key("admitLatencyMs").beginObject();
-        w.kv("p50", percentileOf(tally.admitLatencies, 50.0));
-        w.kv("p95", percentileOf(tally.admitLatencies, 95.0));
-        w.kv("p99", percentileOf(tally.admitLatencies, 99.0));
+        w.kv("count", static_cast<std::uint64_t>(
+                          tally.admitLatencies.size()));
+        if (!tally.admitLatencies.empty()) {
+            w.kv("p50", percentileOf(tally.admitLatencies, 50.0));
+            w.kv("p95", percentileOf(tally.admitLatencies, 95.0));
+            w.kv("p99", percentileOf(tally.admitLatencies, 99.0));
+        }
         w.endObject();
         w.kv("finalPeriod", st->omega.period);
         w.kv("finalVersion", st->version);
@@ -692,6 +715,175 @@ cmdServe(const Options &opts)
              static_cast<std::uint64_t>(
                  st->bounds.messages.size()));
         w.kv("finalPeakU", st->peakUtilization);
+        w.endObject();
+        w.endObject();
+        *os << "\n";
+    }
+
+    writeObservability(opts);
+    return 0;
+}
+
+void
+writeDaemonResponseJson(JsonWriter &w,
+                        const server::DaemonResponse &resp)
+{
+    w.beginObject();
+    w.kv("id", resp.id);
+    w.kv("session", resp.session);
+    w.kv("kind", resp.kind);
+    w.kv("outcome", server::daemonOutcomeName(resp.outcome));
+    if (!resp.detail.empty())
+        w.kv("detail", resp.detail);
+    w.kv("queueMs", resp.queueMs);
+    // close has no scheduler verdict: nothing is compiled.
+    if (resp.outcome == server::DaemonOutcome::Ok &&
+        resp.kind != "close") {
+        w.kv("accepted", resp.result.accepted);
+        w.kv("reason",
+             online::rejectReasonName(resp.result.reason));
+        if (!resp.result.detail.empty())
+            w.kv("resultDetail", resp.result.detail);
+        w.kv("latencyMs", resp.result.latencyMs);
+        w.kv("period", resp.result.period);
+        w.kv("peakU", resp.result.peakUtilization);
+    }
+    w.endObject();
+}
+
+int
+cmdDaemon(const Options &opts)
+{
+    // Parse the whole script before constructing the daemon so a
+    // malformed line is a usage error, not a half-applied run.
+    server::DaemonScriptParseResult script;
+    if (opts.has("script")) {
+        const std::string path = opts.str("script");
+        std::ifstream in(path);
+        if (!in)
+            fatal("cannot open script file '", path, "'");
+        script = server::parseDaemonScript(in);
+    } else {
+        script = server::parseDaemonScript(std::cin);
+    }
+    if (!script.ok)
+        fatal("invalid input: script line ", script.errorLine,
+              ": ", script.error);
+
+    std::ofstream outFile;
+    std::ostream *os = &std::cout;
+    if (opts.has("out")) {
+        outFile.open(opts.str("out"));
+        if (!outFile)
+            fatal("cannot write '", opts.str("out"), "'");
+        os = &outFile;
+    }
+
+    enableObservability(opts);
+
+    server::DaemonConfig cfg;
+    cfg.workers =
+        static_cast<std::size_t>(opts.num("workers", 1));
+    cfg.queueCap =
+        static_cast<std::size_t>(opts.num("queue-cap", 64));
+    cfg.stateDir = opts.str("state-dir");
+    cfg.snapshotEvery =
+        static_cast<std::size_t>(opts.num("snapshot-every", 0));
+    cfg.walSyncEvery =
+        static_cast<std::size_t>(opts.num("wal-sync-every", 1));
+    cfg.deadlineMs = opts.num("deadline-ms", 0.0);
+    cfg.cacheCapacity =
+        static_cast<std::size_t>(opts.num("cache-cap", 64));
+
+    server::SchedulingDaemon daemon(cfg);
+
+    const server::RecoveryResult &rec = daemon.recovery();
+    if (rec.attempted) {
+        JsonWriter w(*os);
+        w.beginObject();
+        w.key("recovery").beginObject();
+        w.kv("walRecords", rec.walRecords);
+        w.kv("walTornTail", rec.walTornTail);
+        if (!rec.snapshotPath.empty()) {
+            w.kv("snapshot", rec.snapshotPath);
+            w.kv("snapshotSeq", rec.snapshotSeq);
+        }
+        w.kv("replayed", rec.replayed);
+        w.kv("replayRejected", rec.replayRejected);
+        w.kv("rejectedSnapshots",
+             static_cast<std::uint64_t>(
+                 rec.rejectedSnapshots.size()));
+        w.kv("sessions",
+             static_cast<std::uint64_t>(rec.sessionsRestored));
+        w.endObject();
+        w.endObject();
+        *os << "\n";
+    }
+
+    const std::vector<server::DaemonResponse> responses =
+        daemon.run(script.ops);
+    std::uint64_t accepted = 0, rejected = 0, overloaded = 0,
+                  expired = 0;
+    std::vector<double> queueWaits;
+    for (const server::DaemonResponse &resp : responses) {
+        JsonWriter w(*os);
+        writeDaemonResponseJson(w, resp);
+        *os << "\n";
+        switch (resp.outcome) {
+          case server::DaemonOutcome::Ok:
+              if (resp.result.accepted)
+                  ++accepted;
+              else
+                  ++rejected;
+              break;
+          case server::DaemonOutcome::Overloaded:
+              ++overloaded;
+              break;
+          case server::DaemonOutcome::DeadlineExpired:
+              ++expired;
+              break;
+          default:
+              ++rejected;
+              break;
+        }
+        queueWaits.push_back(resp.queueMs);
+    }
+
+    daemon.shutdown();
+
+    const online::ScheduleCache &cache = daemon.cache();
+    {
+        JsonWriter w(*os);
+        w.beginObject();
+        w.key("summary").beginObject();
+        w.kv("requests", static_cast<std::uint64_t>(
+                             responses.size()));
+        w.kv("accepted", accepted);
+        w.kv("rejected", rejected);
+        w.kv("overloaded", overloaded);
+        w.kv("deadlineExpired", expired);
+        w.kv("sessions", static_cast<std::uint64_t>(
+                             daemon.sessionNames().size()));
+        w.kv("walRecords", daemon.walRecords());
+        w.kv("walFsyncs", daemon.walFsyncs());
+        w.kv("snapshots", daemon.snapshotsWritten());
+        w.key("cache").beginObject();
+        w.kv("hits", cache.hits());
+        w.kv("misses", cache.misses());
+        w.kv("evictions", cache.evictions());
+        w.kv("entries",
+             static_cast<std::uint64_t>(cache.size()));
+        w.kv("bytes", cache.bytes());
+        w.endObject();
+        w.key("queueMs").beginObject();
+        w.kv("count", static_cast<std::uint64_t>(
+                          queueWaits.size()));
+        if (!queueWaits.empty()) {
+            w.kv("p50", percentileOf(queueWaits, 50.0));
+            w.kv("p95", percentileOf(queueWaits, 95.0));
+            w.kv("p99", percentileOf(queueWaits, 99.0));
+        }
+        w.endObject();
         w.endObject();
         w.endObject();
         *os << "\n";
@@ -719,7 +911,8 @@ main(int argc, char **argv)
         const std::size_t eq = arg.find('=');
         if (eq != std::string::npos) {
             opts.kv[arg.substr(0, eq)] = arg.substr(eq + 1);
-        } else if (arg == "node-schedules" || arg == "no-cache") {
+        } else if (arg == "node-schedules" || arg == "no-cache" ||
+                   arg == "stdin") {
             opts.kv[arg] = "1";
         } else if (i + 1 < argc) {
             opts.kv[arg] = argv[++i];
@@ -738,6 +931,8 @@ main(int argc, char **argv)
             return cmdSimulate(opts);
         if (opts.command == "serve")
             return cmdServe(opts);
+        if (opts.command == "daemon")
+            return cmdDaemon(opts);
         return usage();
     } catch (const srsim::FatalError &) {
         return 2;
