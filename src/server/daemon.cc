@@ -111,6 +111,12 @@ SchedulingDaemon::SchedulingDaemon(DaemonConfig cfg)
 SchedulingDaemon::~SchedulingDaemon()
 {
     shutdown();
+    // Join the workers before any other member is destroyed: a
+    // drain task can still be between its last queue pop and its
+    // final `sessions_` lookup after drain() saw the queues empty,
+    // and members declared after pool_ would otherwise be freed
+    // under it.
+    pool_.reset();
 }
 
 std::unique_ptr<online::OnlineScheduler>
@@ -142,10 +148,10 @@ SchedulingDaemon::walAppend(const DaemonOp &op)
         return;
     wal_.append(op);
     ++acceptedSinceSnapshot_;
-    if (++unsynced_ >= cfg_.walSyncEvery) {
-        wal_.sync();
+    // On a failed sync the records stay pending (or the log is
+    // marked failed): keep counting so the next append retries.
+    if (++unsynced_ >= cfg_.walSyncEvery && wal_.sync())
         unsynced_ = 0;
-    }
 }
 
 void
@@ -172,15 +178,27 @@ SchedulingDaemon::writeSnapshotLocked()
     std::lock_guard<std::mutex> wlock(walMu_);
     if (!wal_.isOpen())
         return; // crashed or already shut down
-    // The image must not be ahead of durable history.
-    wal_.sync();
+    // The image must not be ahead of durable history: a snapshot
+    // certifies every record up to its walSeq, so if the WAL cannot
+    // be made durable the snapshot must not be taken (it would
+    // certify records a crash can still lose, and the reopened log
+    // would then carry a sequence gap).
+    if (!wal_.sync()) {
+        warn("snapshot skipped: WAL is not durable");
+        return;
+    }
     unsynced_ = 0;
 
     DaemonSnapshot snap;
     snap.walSeq = wal_.nextSeq() - 1;
     std::vector<const Session *> ordered;
-    for (const auto &[name, s] : sessions_)
+    for (const auto &[name, s] : sessions_) {
+        // An in-flight open() parks a placeholder with no service
+        // (and no WAL record yet): not part of state at walSeq.
+        if (!s.svc)
+            continue;
         ordered.push_back(&s);
+    }
     std::sort(ordered.begin(), ordered.end(),
               [](const Session *a, const Session *b) {
                   return a->openIndex < b->openIndex;
@@ -436,12 +454,25 @@ SchedulingDaemon::runRecovery()
 
     const std::uint64_t lastWalSeq =
         wr.records.empty() ? 0 : wr.records.back().seq;
+    const std::uint64_t firstWalSeq =
+        wr.records.empty() ? 0 : wr.records.front().seq;
 
     // Newest intact + certifying snapshot wins; anything less falls
-    // back to the next one, and ultimately to a full replay.
+    // back to the next one, and ultimately to a full replay. A log
+    // whose first record is past seq 1 (its predecessor was retired
+    // below) is only replayable on top of a snapshot that certifies
+    // at least firstWalSeq-1 — older images cannot bridge the gap.
     std::uint64_t fromSeq = 0;
     for (const SnapshotFileInfo &info :
          listSnapshots(cfg_.stateDir)) {
+        if (info.walSeq + 1 < firstWalSeq) {
+            recovery_.rejectedSnapshots.push_back(
+                info.path + ": certifies seq " +
+                std::to_string(info.walSeq) +
+                " but the WAL starts at seq " +
+                std::to_string(firstWalSeq));
+            continue;
+        }
         DaemonSnapshot snap;
         std::string err;
         if (!loadSnapshotFile(info, &snap, &err) ||
@@ -457,6 +488,11 @@ SchedulingDaemon::runRecovery()
         fromSeq = snap.walSeq;
         break;
     }
+    if (fromSeq + 1 < firstWalSeq)
+        fatal("state dir '", cfg_.stateDir,
+              "' is unrecoverable: the WAL starts at seq ",
+              firstWalSeq, " and no intact snapshot certifies seq ",
+              firstWalSeq - 1);
 
     for (const WalRecord &rec : wr.records) {
         if (rec.seq <= fromSeq)
@@ -465,6 +501,21 @@ SchedulingDaemon::runRecovery()
         replayOp(rec.op, recovery_);
     }
     recovery_.sessionsRestored = sessions_.size();
+
+    // A snapshot may certify records the log no longer has (a state
+    // dir damaged after the fact). Appending at fromSeq+1 would
+    // then write a sequence gap after lastWalSeq, and the *next*
+    // recovery would discard everything past the gap as a torn
+    // tail. Every certified record's effect lives in the restored
+    // snapshot, so the stale log is redundant: retire it and let
+    // the reopened log start fresh at the snapshot's sequence.
+    if (fromSeq > lastWalSeq &&
+        std::filesystem::exists(wpath)) {
+        std::filesystem::rename(wpath, wpath + ".stale", ec);
+        if (ec)
+            fatal("cannot retire stale WAL '", wpath,
+                  "': ", ec.message());
+    }
 
     std::string err;
     if (!wal_.open(wpath, std::max(lastWalSeq, fromSeq) + 1, &err))
@@ -513,11 +564,23 @@ SchedulingDaemon::open(const SessionConfig &sc)
 
     const bool ok = configError.empty() && first.accepted;
     bool kick = false;
+    bool closedOut = false;
     {
         std::lock_guard<std::mutex> lock(mu_);
+        closedOut = shutdown_;
         auto it = sessions_.find(sc.name);
-        if (ok) {
+        if (ok && !closedOut) {
             it->second.svc = std::move(svc);
+            // WAL order must equal publication order: append the
+            // Open while the lock still parks this session's first
+            // request (its worker only starts below) and blocks
+            // snapshots, so no Request or image can be sequenced
+            // ahead of it.
+            DaemonOp op;
+            op.kind = DaemonOp::Kind::Open;
+            op.session = sc.name;
+            op.open = sc;
+            walAppend(op);
             it->second.active = false;
             kick = !it->second.pending.empty() && !paused_;
             if (kick)
@@ -545,13 +608,16 @@ SchedulingDaemon::open(const SessionConfig &sc)
         bump("server.rejected");
         return resp;
     }
+    if (closedOut) {
+        // Shutdown began while the initial compile ran: the final
+        // snapshot has been (or is being) taken without this
+        // session, so it must not come alive after it.
+        resp.outcome = DaemonOutcome::ShuttingDown;
+        bump("server.rejected");
+        return resp;
+    }
     resp.result = first;
     if (ok) {
-        DaemonOp op;
-        op.kind = DaemonOp::Kind::Open;
-        op.session = sc.name;
-        op.open = sc;
-        walAppend(op);
         bump("server.opens");
         bump("server.accepted");
     } else {
@@ -596,11 +662,13 @@ SchedulingDaemon::close(const std::string &session)
                           "' closed concurrently";
             return resp;
         }
+        // Log the Close before releasing the lock: a concurrent
+        // re-open of the same name must be sequenced after it.
+        DaemonOp op;
+        op.kind = DaemonOp::Kind::Close;
+        op.session = session;
+        walAppend(op);
     }
-    DaemonOp op;
-    op.kind = DaemonOp::Kind::Close;
-    op.session = session;
-    walAppend(op);
     bump("server.closes");
     return resp;
 }
@@ -775,8 +843,8 @@ SchedulingDaemon::drain()
         });
     }
     std::lock_guard<std::mutex> wlock(walMu_);
-    wal_.sync();
-    unsynced_ = 0;
+    if (wal_.sync())
+        unsynced_ = 0;
 }
 
 void
@@ -786,10 +854,12 @@ SchedulingDaemon::shutdown()
         std::lock_guard<std::mutex> lock(mu_);
         if (shutdown_)
             return;
+        // Stop admission before draining: nothing may slip in
+        // between the drain and the final snapshot.
+        shutdown_ = true;
     }
     drain();
     std::lock_guard<std::mutex> lock(mu_);
-    shutdown_ = true;
     if (!cfg_.stateDir.empty())
         writeSnapshotLocked();
     std::lock_guard<std::mutex> wlock(walMu_);

@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cinttypes>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -354,9 +355,11 @@ listSnapshots(const std::string &dir)
         const std::string fn = entry.path().filename().string();
         std::uint64_t seq = 0;
         char hashHex[17] = {0};
-        // snap-<walseq>-<16-hex>.snap
-        if (std::sscanf(fn.c_str(), "snap-%lu-%16[0-9a-f].snap",
-                        &seq, hashHex) != 2)
+        // snap-<walseq>-<16-hex>.snap  (SCNu64: %lu would be UB on
+        // LLP64/32-bit targets where unsigned long is 32 bits)
+        if (std::sscanf(fn.c_str(),
+                        "snap-%" SCNu64 "-%16[0-9a-f].snap", &seq,
+                        hashHex) != 2)
             continue;
         if (fn != "snap-" + std::to_string(seq) + "-" +
                       std::string(hashHex) + ".snap")

@@ -3,7 +3,9 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
@@ -11,6 +13,7 @@
 #include "trace/trace.hh"
 #include "util/json.hh"
 #include "util/json_read.hh"
+#include "util/logging.hh"
 
 namespace srsim {
 namespace server {
@@ -178,7 +181,10 @@ readWal(const std::string &path)
                         e.what();
             break;
         }
-        if (rec.seq != lastSeq + 1) {
+        // The first record's seq is the log's base (a log continued
+        // after a snapshot superseded its stale predecessor starts
+        // past 1); from there the sequence must be contiguous.
+        if (!out.records.empty() && rec.seq != lastSeq + 1) {
             // A sequence break means everything from here on is
             // not the log the synced prefix promised.
             out.tornTail = true;
@@ -212,6 +218,7 @@ WriteAheadLog::open(const std::string &path, std::uint64_t nextSeq,
         return false;
     }
     nextSeq_ = nextSeq;
+    failed_ = false;
     return true;
 }
 
@@ -230,26 +237,42 @@ WriteAheadLog::append(const DaemonOp &op)
     return rec.seq;
 }
 
-void
+bool
 WriteAheadLog::sync()
 {
+    if (failed_)
+        return false;
     if (fd_ < 0 || pending_.empty())
-        return;
+        return true;
     const double t0 = trace::Tracer::nowWallUs();
     std::size_t off = 0;
     while (off < pending_.size()) {
         const ssize_t n = ::write(fd_, pending_.data() + off,
                                   pending_.size() - off);
+        if (n < 0 && errno == EINTR)
+            continue;
         if (n <= 0)
-            break; // short device: records stay pending
+            break; // short device: records stay pending, retryable
         off += static_cast<std::size_t>(n);
     }
     if (off < pending_.size()) {
         pending_.erase(0, off);
-        return;
+        warn("WAL short write (", std::strerror(errno),
+             "); records stay pending");
+        return false;
     }
     pending_.clear();
-    ::fsync(fd_);
+    int rc;
+    while ((rc = ::fsync(fd_)) != 0 && errno == EINTR) {
+    }
+    if (rc != 0) {
+        // Dirty-page fate is unknown after a failed fsync; nothing
+        // appended since the last good sync may be certified again.
+        failed_ = true;
+        warn("WAL fsync failed (", std::strerror(errno),
+             "); log can no longer certify durability");
+        return false;
+    }
     ++fsyncs_;
     if (SRSIM_METRICS_ENABLED()) {
         metrics::Registry::global().counter("server.wal_fsyncs")
@@ -259,6 +282,7 @@ WriteAheadLog::sync()
                        metrics::Histogram::timeBucketsUs())
             .add(trace::Tracer::nowWallUs() - t0);
     }
+    return true;
 }
 
 void

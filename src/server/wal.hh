@@ -18,7 +18,10 @@
  * final line (the classic crash-mid-write artifact) ends the replay
  * cleanly instead of failing recovery. Corruption *before* the tail
  * (a record that parses but breaks sequence monotonicity) is also
- * treated as the start of the tail.
+ * treated as the start of the tail. The first record fixes the
+ * log's base sequence — it need not be 1: a log that continues
+ * after a snapshot superseded its stale predecessor starts past it
+ * (recovery then insists on a snapshot that bridges the gap).
  */
 
 #ifndef SRSIM_SERVER_WAL_HH_
@@ -80,10 +83,16 @@ class WriteAheadLog
     /** Buffer one record; @return its sequence number. */
     std::uint64_t append(const DaemonOp &op);
 
-    /** Make every buffered record durable (write + fsync). */
-    void sync();
+    /**
+     * Make every buffered record durable (write + fsync).
+     * @return true iff every appended record is on disk. A short
+     * write keeps the remainder pending (a later sync retries); a
+     * failed fsync is sticky — the dirty pages' fate is unknown, so
+     * the log can never again certify durability on this fd.
+     */
+    bool sync();
 
-    /** Graceful close: sync, then close the fd. */
+    /** Graceful close: sync (best effort), then close the fd. */
     void close();
 
     /**
@@ -106,6 +115,8 @@ class WriteAheadLog
     std::uint64_t nextSeq_ = 1;
     std::uint64_t appended_ = 0;
     std::uint64_t fsyncs_ = 0;
+    /** Set by a failed fsync; cleared only by open(). */
+    bool failed_ = false;
 };
 
 } // namespace server

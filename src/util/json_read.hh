@@ -187,11 +187,24 @@ class Parser
               case 'r': v->string += '\r'; break;
               case 't': v->string += '\t'; break;
               case 'u': {
-                  if (pos_ + 4 > s_.size())
-                      fail("short \\u escape");
-                  // Validation only: keep the raw escape text.
-                  v->string += "\\u" + s_.substr(pos_, 4);
-                  pos_ += 4;
+                  // Decode to UTF-8 so escaped strings round-trip
+                  // byte-exact with JsonWriter (which emits \u00xx
+                  // for control characters).
+                  unsigned cp = parseHex4();
+                  if (cp >= 0xDC00 && cp <= 0xDFFF)
+                      fail("unpaired low surrogate");
+                  if (cp >= 0xD800 && cp <= 0xDBFF) {
+                      if (pos_ + 2 > s_.size() ||
+                          s_[pos_] != '\\' || s_[pos_ + 1] != 'u')
+                          fail("unpaired high surrogate");
+                      pos_ += 2;
+                      const unsigned lo = parseHex4();
+                      if (lo < 0xDC00 || lo > 0xDFFF)
+                          fail("unpaired high surrogate");
+                      cp = 0x10000 + ((cp - 0xD800) << 10) +
+                           (lo - 0xDC00);
+                  }
+                  appendUtf8(v->string, cp);
                   break;
               }
               default: fail("bad escape");
@@ -201,6 +214,48 @@ class Parser
             fail("unterminated string");
         ++pos_; // closing quote
         return v;
+    }
+
+    /** Consume 4 hex digits of a \\uXXXX escape. */
+    unsigned
+    parseHex4()
+    {
+        if (pos_ + 4 > s_.size())
+            fail("short \\u escape");
+        unsigned cp = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9')
+                cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+                cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+                cp |= static_cast<unsigned>(h - 'A' + 10);
+            else
+                fail("bad \\u escape");
+        }
+        return cp;
+    }
+
+    static void
+    appendUtf8(std::string &out, unsigned cp)
+    {
+        if (cp < 0x80) {
+            out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else if (cp < 0x10000) {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else {
+            out += static_cast<char>(0xF0 | (cp >> 18));
+            out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        }
     }
 
     ValuePtr

@@ -9,10 +9,13 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <thread>
+#include <vector>
 
 #include "core/schedule_io.hh"
 #include "online/script.hh"
@@ -34,17 +37,50 @@ using server::DaemonResponse;
 using server::SchedulingDaemon;
 using server::SessionConfig;
 
-/** Fresh empty scratch directory, unique per test. */
+/**
+ * Fresh empty scratch directory, unique per test *and* per process:
+ * the same suite may run concurrently from several build trees
+ * (plain and sanitizer lanes), and a fixed path would let one run's
+ * remove_all() clobber the other's live WAL mid-test.
+ */
+std::vector<std::filesystem::path> &
+scratchDirsMade()
+{
+    static std::vector<std::filesystem::path> dirs;
+    return dirs;
+}
+
 std::string
 scratchDir(const std::string &name)
 {
     const std::filesystem::path dir =
         std::filesystem::temp_directory_path() /
-        ("srsim-server-" + name);
+        ("srsim-server-" + name + "-" +
+         std::to_string(::getpid()));
     std::filesystem::remove_all(dir);
     std::filesystem::create_directories(dir);
+    scratchDirsMade().push_back(dir);
     return dir.string();
 }
+
+/**
+ * Remove this process's scratch dirs when its tests passed; keep
+ * them for post-mortem inspection when something failed.
+ */
+class ScratchCleanup : public ::testing::Environment
+{
+    void TearDown() override
+    {
+        if (!::testing::UnitTest::GetInstance()->Passed())
+            return;
+        std::error_code ec;
+        for (const std::filesystem::path &dir : scratchDirsMade())
+            std::filesystem::remove_all(dir, ec);
+    }
+};
+
+const ::testing::Environment *const scratchCleanup =
+    ::testing::AddGlobalTestEnvironment(new ScratchCleanup);
 
 /** The golden-churn figure configuration as a daemon session. */
 SessionConfig
@@ -276,6 +312,53 @@ TEST(ServerWal, MissingFileIsAnEmptyLog)
     EXPECT_TRUE(r.ok);
     EXPECT_FALSE(r.tornTail);
     EXPECT_TRUE(r.records.empty());
+}
+
+TEST(ServerWal, LogBaseMayStartPastOne)
+{
+    // A log continued after recovery retired its stale predecessor
+    // starts at the snapshot's seq + 1, not at 1; continuity is
+    // still required from the base onward.
+    const std::string dir = scratchDir("wal-base");
+    const std::string path = dir + "/wal.jsonl";
+    {
+        std::ofstream out(path);
+        out << R"({"seq":5,"op":"close","session":"a"})" << "\n";
+        out << R"({"seq":6,"op":"close","session":"b"})" << "\n";
+        out << R"({"seq":8,"op":"close","session":"c"})" << "\n";
+    }
+    const server::WalReadResult r = server::readWal(path);
+    ASSERT_TRUE(r.ok);
+    EXPECT_TRUE(r.tornTail); // 6 -> 8 breaks continuity
+    ASSERT_EQ(r.records.size(), 2u);
+    EXPECT_EQ(r.records[0].seq, 5u);
+    EXPECT_EQ(r.records[1].seq, 6u);
+}
+
+TEST(ServerWal, ControlCharactersInStringsRoundTrip)
+{
+    // JsonWriter escapes control bytes as \u00xx; the reader must
+    // decode them back or replayed state diverges byte-wise.
+    const std::string dir = scratchDir("wal-ctrl");
+    const std::string path = dir + "/wal.jsonl";
+    DaemonOp op;
+    op.kind = DaemonOp::Kind::Request;
+    op.session = std::string("a\x01b\x1f", 4);
+    op.request.kind = online::RequestKind::InjectFault;
+    op.request.faultSpec = std::string("link:0-1\x07", 9);
+    {
+        server::WriteAheadLog wal;
+        std::string err;
+        ASSERT_TRUE(wal.open(path, 1, &err)) << err;
+        wal.append(op);
+        EXPECT_TRUE(wal.sync());
+    }
+    const server::WalReadResult r = server::readWal(path);
+    ASSERT_TRUE(r.ok);
+    ASSERT_EQ(r.records.size(), 1u);
+    EXPECT_EQ(r.records[0].op.session, op.session);
+    EXPECT_EQ(r.records[0].op.request.faultSpec,
+              op.request.faultSpec);
 }
 
 // -- Snapshots ----------------------------------------------------
@@ -670,7 +753,152 @@ TEST(ServerDaemon, TornWalTailRecoversTheIntactPrefix)
     EXPECT_EQ(wr.records.size(), 3u);
 }
 
+TEST(ServerDaemon, SnapshotSupersedingALostWalTailLeavesNoGap)
+{
+    // A snapshot may certify records a damaged state dir's WAL no
+    // longer has. Recovery must not reopen the log ahead of its
+    // last on-disk record (the gap would make the *next* recovery
+    // discard acknowledged records as a torn tail); it retires the
+    // stale log and continues from the snapshot's sequence.
+    const std::string dir = scratchDir("recover-lost-tail");
+    {
+        DaemonConfig cfg;
+        cfg.stateDir = dir;
+        cfg.snapshotEvery = 1;
+        SchedulingDaemon d(cfg);
+        ASSERT_TRUE(d.open(figSession("a")).result.accepted);
+        for (const DaemonOp &op :
+             parseOps("a admit x0 probe verify 256\n"
+                      "a admit x1 match probe 128\n"
+                      "a remove x0\n"))
+            ASSERT_TRUE(
+                d.submit("a", op.request).get().result.accepted);
+        d.shutdown(); // final snapshot certifies seq 4
+    }
+    // Lose the WAL tail the snapshot certifies (keep seq 1-2).
+    {
+        const server::WalReadResult wr =
+            server::readWal(dir + "/wal.jsonl");
+        ASSERT_EQ(wr.records.size(), 4u);
+        std::ofstream out(dir + "/wal.jsonl",
+                          std::ios::binary | std::ios::trunc);
+        for (std::size_t i = 0; i < 2; ++i)
+            out << server::encodeWalRecord(wr.records[i]) << "\n";
+    }
+    std::string afterOneMore;
+    {
+        DaemonConfig cfg;
+        cfg.stateDir = dir;
+        SchedulingDaemon d2(cfg);
+        EXPECT_FALSE(d2.recovery().snapshotPath.empty());
+        EXPECT_EQ(d2.recovery().replayed, 0u);
+        EXPECT_EQ(publishedBytes(d2, "a"),
+                  directBytes("admit x0 probe verify 256\n"
+                              "admit x1 match probe 128\n"
+                              "remove x0\n"));
+        EXPECT_TRUE(
+            std::filesystem::exists(dir + "/wal.jsonl.stale"));
+        online::Request admit;
+        admit.kind = online::RequestKind::AdmitMessage;
+        admit.admits.push_back({"x2", "probe", "verify", 64.0});
+        ASSERT_TRUE(d2.submit("a", admit).get().result.accepted);
+        d2.drain();
+        afterOneMore = publishedBytes(d2, "a");
+        d2.crashForTest();
+    }
+    // The fresh log starts at seq 5 and replays cleanly on top of
+    // the snapshot — nothing acknowledged was discarded.
+    const server::WalReadResult wr =
+        server::readWal(dir + "/wal.jsonl");
+    EXPECT_FALSE(wr.tornTail);
+    ASSERT_EQ(wr.records.size(), 1u);
+    EXPECT_EQ(wr.records[0].seq, 5u);
+    DaemonConfig cfg;
+    cfg.stateDir = dir;
+    SchedulingDaemon d3(cfg);
+    EXPECT_EQ(d3.recovery().replayed, 1u);
+    EXPECT_EQ(d3.recovery().replayRejected, 0u);
+    EXPECT_EQ(publishedBytes(d3, "a"), afterOneMore);
+}
+
 // -- Concurrency --------------------------------------------------
+
+TEST(ServerDaemon, SnapshotsTolerateInFlightOpens)
+{
+    // open() parks a placeholder session (no service yet) while the
+    // initial compile runs outside the daemon lock; snapshots taken
+    // meanwhile (another session quiescing with snapshotEvery=1)
+    // must skip it, not dereference it. Also pins WAL commit order:
+    // a session's Open record precedes all its Requests, which
+    // precede its Close.
+    const std::string dir = scratchDir("snap-inflight-open");
+    const std::string script = "admit x0 probe verify 256\n"
+                               "remove x0\n"
+                               "admit x0 probe verify 256\n"
+                               "remove x0\n"
+                               "admit x0 probe verify 256\n"
+                               "remove x0\n";
+    {
+        DaemonConfig cfg;
+        cfg.stateDir = dir;
+        cfg.snapshotEvery = 1;
+        cfg.workers = 2;
+        SchedulingDaemon d(cfg);
+        ASSERT_TRUE(d.open(figSession("a")).result.accepted);
+        std::thread opener([&] {
+            for (int i = 0; i < 6; ++i) {
+                const std::string name = "b" + std::to_string(i);
+                EXPECT_TRUE(
+                    d.open(figSession(name)).result.accepted);
+                EXPECT_EQ(d.close(name).outcome,
+                          DaemonOutcome::Ok);
+            }
+        });
+        for (const DaemonOp &op : parseOps(
+                 "a admit x0 probe verify 256\n"
+                 "a remove x0\n"
+                 "a admit x0 probe verify 256\n"
+                 "a remove x0\n"
+                 "a admit x0 probe verify 256\n"
+                 "a remove x0\n"))
+            ASSERT_TRUE(
+                d.submit("a", op.request).get().result.accepted);
+        opener.join();
+        d.shutdown();
+    }
+    // Per-session WAL order: Open < every Request < Close.
+    const server::WalReadResult wr =
+        server::readWal(dir + "/wal.jsonl");
+    ASSERT_TRUE(wr.ok);
+    EXPECT_FALSE(wr.tornTail);
+    std::map<std::string, std::uint64_t> opened, closed;
+    for (const server::WalRecord &rec : wr.records) {
+        const std::string &name = rec.op.session;
+        switch (rec.op.kind) {
+          case DaemonOp::Kind::Open:
+              EXPECT_FALSE(opened.count(name)) << name;
+              opened[name] = rec.seq;
+              break;
+          case DaemonOp::Kind::Close:
+              ASSERT_TRUE(opened.count(name)) << name;
+              EXPECT_GT(rec.seq, opened[name]);
+              closed[name] = rec.seq;
+              break;
+          case DaemonOp::Kind::Request:
+              ASSERT_TRUE(opened.count(name)) << name;
+              EXPECT_GT(rec.seq, opened[name]);
+              EXPECT_FALSE(closed.count(name)) << name;
+              break;
+        }
+    }
+    // And the interleaved run recovers byte-identically.
+    DaemonConfig cfg;
+    cfg.stateDir = dir;
+    SchedulingDaemon d2(cfg);
+    EXPECT_EQ(d2.recovery().replayRejected, 0u);
+    ASSERT_EQ(d2.sessionNames(), std::vector<std::string>{"a"});
+    EXPECT_EQ(publishedBytes(d2, "a"), directBytes(script));
+}
 
 TEST(ServerDaemon, ChurnStressMatchesSingleWorkerRun)
 {
