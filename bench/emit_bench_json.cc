@@ -28,6 +28,7 @@
 #include "online/service.hh"
 #include "server/daemon.hh"
 #include "server/protocol.hh"
+#include "solver/lp.hh"
 #include "tfg/dvb.hh"
 #include "tfg/timing.hh"
 #include "topology/factory.hh"
@@ -334,6 +335,59 @@ main(int argc, char **argv)
         daemon.shutdown();
         std::filesystem::remove_all(state);
     };
+    // Solver warm-start A/B: the identical admit/remove churn under
+    // the cold dense stack and the warm-start stack, pivot totals
+    // from lp::solverStats into bench.solver.* counters. Cache off
+    // so every request is a real re-solve; see bench/solver_bench
+    // for the standalone version.
+    records.push_back(runScenario("solver_warm_churn", [&] {
+        const auto churn = [&](std::vector<double> *ms) {
+            auto o = onlineSetup();
+            const auto topo = makeTopology("torus:4,4,4");
+            const TaskAllocation alloc =
+                alloc::roundRobin(o.g, *topo, 13);
+            online::OnlineSchedulerConfig scfg;
+            scfg.compiler.inputPeriod = 2.4 * o.tm.tauC(o.g);
+            scfg.cacheCapacity = 0;
+            online::OnlineScheduler svc(
+                o.g, makeTopology("torus:4,4,4"), alloc, o.tm,
+                scfg);
+            svc.start();
+            lp::resetSolverStats(); // exclude the cold start()
+            online::AdmitSpec spec;
+            spec.name = "hot";
+            spec.src = "probe";
+            spec.dst = "verify";
+            spec.bytes = 256.0;
+            for (int r = 0; r < 8; ++r) {
+                const online::RequestResult res = svc.admit(spec);
+                if (res.accepted && ms != nullptr)
+                    ms->push_back(res.latencyMs);
+                svc.remove(spec.name);
+            }
+        };
+        lp::setDefaultSolver(lp::SolverKind::Dense);
+        churn(nullptr);
+        const lp::SolverStats cold = lp::solverStats();
+        lp::setDefaultSolver(lp::SolverKind::Sparse);
+        std::vector<double> ms;
+        churn(&ms);
+        const lp::SolverStats warm = lp::solverStats();
+        auto &reg = metrics::Registry::global();
+        reg.counter("bench.solver.cold_pivots").add(cold.pivots);
+        reg.counter("bench.solver.warm_pivots").add(warm.pivots);
+        reg.counter("bench.solver.warmstart_hits")
+            .add(warm.warmHits);
+        reg.counter("bench.solver.warmstart_misses")
+            .add(warm.warmMisses);
+        if (warm.pivots > 0)
+            reg.counter("bench.solver.pivot_reduction_pct")
+                .add(100 * cold.pivots / warm.pivots);
+        if (!ms.empty())
+            reg.counter("bench.solver.warm_admit_p95_us")
+                .add(pctUs(ms, 95.0));
+    }));
+
     records.push_back(runScenario(
         "server_throughput_1w", [&] { daemonScenario(1, false); }));
     records.push_back(runScenario(

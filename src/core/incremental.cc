@@ -54,7 +54,8 @@ resolveDirtySubsets(const TimeBounds &bounds,
             fresh = allocateMessageIntervals(
                 bounds, intervals, pa, dirtySubsets,
                 opts.allocMethod, opts.scheduling.guardTime,
-                opts.scheduling.packetTime, opts.topo);
+                opts.scheduling.packetTime, opts.topo,
+                opts.basisCache);
         }
         if (!fresh.feasible) {
             res.failedStage =
@@ -72,9 +73,12 @@ resolveDirtySubsets(const TimeBounds &bounds,
             const std::string name =
                 std::string(opts.tracePrefix) + "_scheduling";
             trace::ScopedPhase phase(name.c_str());
+            IntervalSchedulingOptions sopts = opts.scheduling;
+            if (sopts.basisCache == nullptr)
+                sopts.basisCache = opts.basisCache;
             freshSched = scheduleIntervals(bounds, intervals, pa,
                                            dirtySubsets, fresh,
-                                           opts.scheduling);
+                                           sopts);
         }
         if (!freshSched.feasible) {
             res.failedStage =

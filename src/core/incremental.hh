@@ -58,6 +58,13 @@ struct IncrementalSolveOptions
      * and "<prefix>_scheduling".
      */
     const char *tracePrefix = "incremental";
+    /**
+     * When given, the allocation and scheduling LPs of each dirty
+     * subset warm-start from (and store back to) this basis cache,
+     * so repeated re-solves of structurally unchanged subsets
+     * resume in a handful of pivots. nullptr keeps solves cold.
+     */
+    lp::BasisCache *basisCache = nullptr;
 };
 
 /** Outcome of one incremental re-solve. */

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "solver/lp.hh"
+#include "solver/revised.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
 
@@ -51,7 +52,8 @@ guardedCapacity(const IntervalSet &ivs, const PathAssignment &pa,
 bool
 allocateSubsetLp(const TimeBounds &bounds, const IntervalSet &ivs,
                  const PathAssignment &pa, const MessageSubset &sub,
-                 Time guard, const Topology *topo, Matrix<Time> &P,
+                 Time guard, const Topology *topo,
+                 lp::BasisCache *basisCache, Matrix<Time> &P,
                  double &peakLoad, lp::Status &status,
                  std::string &error)
 {
@@ -113,7 +115,30 @@ allocateSubsetLp(const TimeBounds &bounds, const IntervalSet &ivs,
         }
     }
 
-    const lp::Solution sol = lp::solve(prob);
+    // Warm-start from the last optimal basis of this subset's LP.
+    // The key folds in the structure signature, so the cache keeps
+    // one basis per structural variant of the subset (admission /
+    // removal churn alternates between them).
+    lp::SolveOptions sopts;
+    lp::Basis warm;
+    std::string cacheKey;
+    std::uint64_t sig = 0;
+    if (basisCache != nullptr) {
+        sig = lp::structureSignature(prob);
+        std::ostringstream key;
+        key << "a";
+        for (std::size_t h : sub.members)
+            key << ":" << h;
+        key << "#" << sig;
+        cacheKey = key.str();
+        if (basisCache->lookup(cacheKey, sig, warm))
+            sopts.warmStart = &warm;
+    }
+
+    const lp::Solution sol = lp::solve(prob, sopts);
+    if (basisCache != nullptr && sol.feasible() &&
+        !sol.basis.empty())
+        basisCache->store(cacheKey, sig, sol.basis);
     if (!sol.feasible()) {
         status = sol.status;
         error = std::string("subset LP ") + lp::statusName(status);
@@ -294,7 +319,8 @@ allocateMessageIntervals(const TimeBounds &bounds,
                          const PathAssignment &pa,
                          const std::vector<MessageSubset> &subsets,
                          AllocationMethod method, Time guardTime,
-                         Time packetTime, const Topology *topo)
+                         Time packetTime, const Topology *topo,
+                         lp::BasisCache *basisCache)
 {
     IntervalAllocation out;
     out.allocation =
@@ -316,8 +342,8 @@ allocateMessageIntervals(const TimeBounds &bounds,
                 method == AllocationMethod::Lp
                     ? allocateSubsetLp(bounds, intervals, pa,
                                        subsets[s], guardTime, topo,
-                                       local, r.peakLoad, r.status,
-                                       r.error)
+                                       basisCache, local, r.peakLoad,
+                                       r.status, r.error)
                     : allocateSubsetGreedy(bounds, intervals, pa,
                                            subsets[s], guardTime,
                                            topo, local, r.peakLoad,

@@ -30,6 +30,10 @@
 
 namespace srsim {
 
+namespace lp {
+class BasisCache;
+}
+
 /** Allocation outcome for the whole TFG. */
 struct IntervalAllocation
 {
@@ -76,6 +80,11 @@ enum class AllocationMethod { Lp, Greedy };
  * @param topo when given, per-(link, interval) capacity is scaled by
  *        Topology::linkCapacity so derated links only offer their
  *        surviving duty-cycle fraction of each interval.
+ * @param basisCache when given, each subset LP warm-starts from the
+ *        basis cached under its member set (and stores its optimal
+ *        basis back), so re-solves of unchanged-structure subsets
+ *        resume in a handful of pivots. nullptr keeps every solve
+ *        cold.
  */
 IntervalAllocation
 allocateMessageIntervals(const TimeBounds &bounds,
@@ -86,7 +95,8 @@ allocateMessageIntervals(const TimeBounds &bounds,
                              AllocationMethod::Lp,
                          Time guardTime = 0.0,
                          Time packetTime = 0.0,
-                         const Topology *topo = nullptr);
+                         const Topology *topo = nullptr,
+                         lp::BasisCache *basisCache = nullptr);
 
 } // namespace srsim
 

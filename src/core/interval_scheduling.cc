@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "solver/lp.hh"
+#include "solver/revised.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
 
@@ -158,7 +159,8 @@ struct SlotSchedule
 SlotSchedule
 scheduleLp(const IntervalWork &work, const PathAssignment &pa,
            const TimeWindow &iv, std::size_t maxSets, Time guard,
-           Time packet, bool exact_mip,
+           Time packet, bool exact_mip, lp::BasisCache *basisCache,
+           const std::string &cacheKey,
            std::vector<std::vector<TimeWindow>> &segments)
 {
     SlotSchedule res;
@@ -210,7 +212,25 @@ scheduleLp(const IntervalWork &work, const PathAssignment &pa,
         prob.addConstraint(std::move(c));
     }
 
-    lp::Solution sol = mip ? lp::solveMip(prob) : lp::solve(prob);
+    // Warm-start the continuous covering LP from this work item's
+    // last optimal basis (keyed with the structure signature, so
+    // each structural variant keeps its own entry).
+    lp::SolveOptions sopts;
+    lp::Basis warmBasis;
+    std::string key;
+    std::uint64_t sig = 0;
+    if (!mip && basisCache != nullptr) {
+        sig = lp::structureSignature(prob);
+        key = cacheKey + "#" + std::to_string(sig);
+        if (basisCache->lookup(key, sig, warmBasis))
+            sopts.warmStart = &warmBasis;
+    }
+
+    lp::Solution sol =
+        mip ? lp::solveMip(prob) : lp::solve(prob, sopts);
+    if (!mip && basisCache != nullptr && sol.feasible() &&
+        !sol.basis.empty())
+        basisCache->store(key, sig, sol.basis);
     if (mip && sol.status == lp::Status::IterationLimit &&
         !sol.values.empty()) {
         warn("exact packet scheduling hit the node cap; using the "
@@ -399,10 +419,15 @@ scheduleIntervals(const TimeBounds &bounds,
             r.segments.assign(bounds.messages.size(), {});
             const TimeWindow &iv = intervals.interval(it.k);
             if (opts.method == SchedulingMethod::LpFeasibleSets) {
+                std::string key;
+                if (opts.basisCache != nullptr)
+                    key = "s:" + std::to_string(it.s) + ":" +
+                          std::to_string(it.k);
                 r.slot = scheduleLp(it.work, pa, iv,
                                     opts.maxFeasibleSets,
                                     opts.guardTime, opts.packetTime,
                                     opts.exactPacketMip,
+                                    opts.basisCache, key,
                                     r.segments);
             } else {
                 r.slot.ok = true;

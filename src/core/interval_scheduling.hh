@@ -103,6 +103,14 @@ struct IntervalSchedulingOptions
      * per slot; tightens the schedulability test accordingly.
      */
     Time guardTime = 0.0;
+    /**
+     * When given, each (subset, interval) covering LP warm-starts
+     * from the basis cached under its work item (and stores its
+     * optimal basis back). Applies to the continuous formulation
+     * only; the exact-packet MIP warm-starts internally from parent
+     * branch-and-bound nodes instead. nullptr keeps solves cold.
+     */
+    lp::BasisCache *basisCache = nullptr;
 };
 
 /**

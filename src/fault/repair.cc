@@ -103,7 +103,7 @@ tryIncrementalRepair(const TaskFlowGraph &g, const Topology &topo,
                      const TimingModel &tm,
                      const SrCompilerConfig &cfg,
                      const SrCompileResult &healthy,
-                     RepairResult &res)
+                     lp::BasisCache *basisCache, RepairResult &res)
 {
     const TimeBounds &bounds = healthy.bounds;
     if (!healthy.intervals)
@@ -148,6 +148,7 @@ tryIncrementalRepair(const TaskFlowGraph &g, const Topology &topo,
     iopts.scheduling.packetTime = effectivePacketTime(cfg, tm);
     iopts.topo = &topo;
     iopts.tracePrefix = "repair";
+    iopts.basisCache = basisCache;
     const IncrementalSolveResult inc = resolveDirtySubsets(
         bounds, ivs, pa, dirtyFlags, healthy.omega.segments, iopts);
 
@@ -217,7 +218,7 @@ repairSchedule(const TaskFlowGraph &g, const Topology &topo,
 
     if (res.shedMessages.empty() && opts.allowIncremental &&
         tryIncrementalRepair(g, topo, alloc, tm, cfg, healthy,
-                             res)) {
+                             opts.basisCache, res)) {
         res.omega.faultSpec = opts.faultSpec;
         return res;
     }

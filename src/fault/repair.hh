@@ -33,6 +33,11 @@
 #include "core/sr_compiler.hh"
 
 namespace srsim {
+
+namespace lp {
+class BasisCache;
+}
+
 namespace fault {
 
 /** What happened to one message of the original TFG under repair. */
@@ -58,6 +63,13 @@ struct RepairOptions
     std::vector<double> stretchFactors = {1.25, 1.5, 2.0, 3.0, 4.0};
     /** Fault spec recorded on the repaired schedule, if any. */
     std::string faultSpec;
+    /**
+     * When given, the incremental path's subset LPs warm-start from
+     * (and store back to) this basis cache, so a caller repairing
+     * against a sequence of faults re-solves recurring subsets in a
+     * handful of pivots. nullptr keeps every solve cold.
+     */
+    lp::BasisCache *basisCache = nullptr;
 };
 
 /** Outcome of a repair. */

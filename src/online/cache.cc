@@ -17,9 +17,30 @@ canonicalWorkloadKey(const TaskFlowGraph &g, const Topology &topo,
     std::ostringstream os;
     os << std::setprecision(17);
 
-    // Fabric and its fault mask. Healthy resources are implicit so
-    // the common (healthy) key stays short.
+    // Fabric identity: name alone is not enough — two fabrics can
+    // share a name yet wire their nodes differently, and routing
+    // (hence the schedule) depends on the wiring. Fold in the node
+    // and link counts plus a digest of the endpoint adjacency.
     os << "topo=" << topo.name() << ";";
+    {
+        std::uint64_t wire = 0xcbf29ce484222325ull;
+        const auto mix = [&wire](std::uint64_t v) {
+            for (int i = 0; i < 8; ++i) {
+                wire ^= (v >> (8 * i)) & 0xffu;
+                wire *= 0x100000001b3ull;
+            }
+        };
+        for (LinkId l = 0; l < topo.numLinks(); ++l) {
+            const Link &lk = topo.link(l);
+            mix(static_cast<std::uint64_t>(lk.id));
+            mix(static_cast<std::uint64_t>(lk.a));
+            mix(static_cast<std::uint64_t>(lk.b));
+        }
+        os << "wire=" << topo.numNodes() << ":" << topo.numLinks()
+           << ":" << std::hex << wire << std::dec << ";";
+    }
+    // Fault mask. Healthy resources are implicit so the common
+    // (healthy) key stays short.
     for (LinkId l = 0; l < topo.numLinks(); ++l)
         if (topo.linkCapacity(l) < 1.0)
             os << "l" << l << "=" << topo.linkCapacity(l) << ";";

@@ -8,6 +8,7 @@
 
 #include "core/incremental.hh"
 #include "core/subsets.hh"
+#include "solver/revised.hh"
 #include "core/verifier.hh"
 #include "fault/fault.hh"
 #include "metrics/metrics.hh"
@@ -140,7 +141,10 @@ OnlineScheduler::OnlineScheduler(TaskFlowGraph g,
                  : std::make_shared<ScheduleCache>(
                        cfg_.cacheCapacity == 0
                            ? 1
-                           : cfg_.cacheCapacity))
+                           : cfg_.cacheCapacity)),
+      basisCache_(cfg_.warmStartBasis
+                      ? std::make_shared<lp::BasisCache>()
+                      : nullptr)
 {
 }
 
@@ -417,6 +421,7 @@ OnlineScheduler::solveWorkload(const TaskFlowGraph &g2, Time period,
             iopts.scheduling.packetTime = ptime;
             iopts.topo = topo_.get();
             iopts.tracePrefix = "online";
+            iopts.basisCache = basisCache_.get();
             const IncrementalSolveResult inc = resolveDirtySubsets(
                 bounds2, ivs2, pa2, dirty, priorSegs, iopts);
             if (inc.feasible) {

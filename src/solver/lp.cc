@@ -2,8 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <limits>
+#include <mutex>
+#include <sstream>
 
+#include "metrics/metrics.hh"
+#include "solver/revised.hh"
 #include "util/logging.hh"
 #include "util/matrix.hh"
 
@@ -59,6 +64,14 @@ Problem::addConstraint(Constraint c)
         (void)coeff;
     }
     constraints_.push_back(std::move(c));
+}
+
+void
+Problem::truncateConstraints(std::size_t n)
+{
+    SRSIM_ASSERT(n <= constraints_.size(),
+                 "truncateConstraints beyond current size");
+    constraints_.resize(n);
 }
 
 namespace {
@@ -268,7 +281,7 @@ iterate(Tableau &tab, const std::vector<bool> &allowedCols,
 } // namespace
 
 Solution
-solve(const Problem &p, const SolveOptions &opts)
+solveDense(const Problem &p, const SolveOptions &opts)
 {
     const std::size_t n_struct = p.numVariables();
     const std::size_t m = p.numConstraints();
@@ -465,6 +478,255 @@ solve(const Problem &p, const SolveOptions &opts)
     for (double v : sol.values)
         if (!std::isfinite(v))
             sol.status = Status::NumericalFailure;
+    if (sol.status != Status::Optimal)
+        return sol;
+
+    // Export the optimal basis symbolically so a re-solve can warm
+    // start from it. Columns map back to their owning row via the
+    // construction order above (slacks then artificials, both in
+    // row order).
+    std::vector<std::size_t> owner_row(n_total, 0);
+    {
+        std::size_t sc = n_struct;
+        std::size_t ac = n_struct + n_slack;
+        for (std::size_t i = 0; i < m; ++i) {
+            if (plan[i].rel != Relation::Equal)
+                owner_row[sc++] = i;
+            if (plan[i].rel != Relation::LessEq)
+                owner_row[ac++] = i;
+        }
+    }
+    sol.basis.rows.resize(m);
+    sol.basis.structurals = n_struct;
+    for (std::size_t r = 0; r < m; ++r) {
+        const std::size_t b = tab.basis(r);
+        Basis::Entry &e = sol.basis.rows[r];
+        if (b < n_struct) {
+            e.kind = Basis::Kind::Structural;
+            e.index = static_cast<std::uint32_t>(b);
+        } else if (b < n_struct + n_slack) {
+            e.kind = Basis::Kind::Slack;
+            e.index = static_cast<std::uint32_t>(owner_row[b]);
+        } else {
+            e.kind = Basis::Kind::Artificial;
+            e.index = static_cast<std::uint32_t>(owner_row[b]);
+        }
+    }
+    return sol;
+}
+
+namespace detail {
+
+SolverCounterBlock &
+solverCounters()
+{
+    static SolverCounterBlock block;
+    return block;
+}
+
+} // namespace detail
+
+namespace {
+
+std::atomic<int> g_solver_kind{-1};
+std::atomic<bool> g_diff_enabled{false};
+
+struct DiffState
+{
+    std::atomic<std::uint64_t> solves{0};
+    std::atomic<std::uint64_t> disagreements{0};
+    std::mutex mu;
+    std::string firstReport;
+};
+
+DiffState &
+diffState()
+{
+    static DiffState st;
+    return st;
+}
+
+/**
+ * Compare one oracle pair. Verdictless outcomes (IterationLimit,
+ * NumericalFailure) are skipped: the solvers may legitimately give
+ * up at different points on a numerically hard instance.
+ */
+void
+diffCompare(const Problem &p, const Solution &dense,
+            const Solution &other, const char *label)
+{
+    const auto verdict = [](Status s) {
+        return s == Status::Optimal || s == Status::Infeasible ||
+               s == Status::Unbounded;
+    };
+    if (!verdict(dense.status) || !verdict(other.status))
+        return;
+    bool bad = dense.status != other.status;
+    if (!bad && dense.status == Status::Optimal) {
+        const double scale = std::max(
+            {1.0, std::abs(dense.objective),
+             std::abs(other.objective)});
+        bad = std::abs(dense.objective - other.objective) >
+              1e-6 * scale;
+    }
+    if (!bad)
+        return;
+    DiffState &st = diffState();
+    st.disagreements.fetch_add(1);
+    std::lock_guard<std::mutex> lock(st.mu);
+    if (!st.firstReport.empty())
+        return;
+    std::ostringstream os;
+    os << label << ": dense " << statusName(dense.status) << " obj "
+       << dense.objective << " vs " << statusName(other.status)
+       << " obj " << other.objective << " ("
+       << p.numConstraints() << " rows, " << p.numVariables()
+       << " vars)";
+    st.firstReport = os.str();
+}
+
+/**
+ * Production solve under SolverKind::Sparse: resume from the warm
+ * basis when one is usable, otherwise (or on any fallback) run the
+ * deterministic tableau path. Failed warm attempts still count
+ * their pivots into the returned total.
+ */
+Solution
+warmOrDense(const Problem &p, const SolveOptions &opts)
+{
+    if (opts.warmStart != nullptr && !opts.warmStart->empty()) {
+        Solution sol;
+        if (solveRevisedWarm(p, opts, sol))
+            return sol;
+        const std::size_t warm_pivots = sol.pivots;
+        SolveOptions cold = opts;
+        cold.warmStart = nullptr;
+        sol = solveDense(p, cold);
+        sol.pivots += warm_pivots;
+        return sol;
+    }
+    return solveDense(p, opts);
+}
+
+/** Run every oracle, record disagreements, return the production
+ *  result (defaultSolver semantics, warm start honored). */
+Solution
+diffSolve(const Problem &p, const SolveOptions &opts)
+{
+    diffState().solves.fetch_add(1);
+    SolveOptions cold = opts;
+    cold.warmStart = nullptr;
+    const Solution dense = solveDense(p, cold);
+    const Solution sparse = solveRevised(p, cold);
+    diffCompare(p, dense, sparse, "sparse-cold");
+    if (opts.warmStart != nullptr && !opts.warmStart->empty()) {
+        const Solution warm = solveRevised(p, opts);
+        diffCompare(p, dense, warm, "sparse-warm");
+        if (defaultSolver() == SolverKind::Sparse)
+            return warmOrDense(p, opts);
+    }
+    return dense;
+}
+
+} // namespace
+
+SolverKind
+defaultSolver()
+{
+    int k = g_solver_kind.load(std::memory_order_relaxed);
+    if (k < 0) {
+        const char *env = std::getenv("SRSIM_SOLVER");
+        k = (env && std::string(env) == "dense")
+                ? static_cast<int>(SolverKind::Dense)
+                : static_cast<int>(SolverKind::Sparse);
+        g_solver_kind.store(k, std::memory_order_relaxed);
+    }
+    return static_cast<SolverKind>(k);
+}
+
+void
+setDefaultSolver(SolverKind kind)
+{
+    g_solver_kind.store(static_cast<int>(kind),
+                        std::memory_order_relaxed);
+}
+
+SolverStats
+solverStats()
+{
+    const detail::SolverCounterBlock &b = detail::solverCounters();
+    SolverStats s;
+    s.solves = b.solves.load();
+    s.pivots = b.pivots.load();
+    s.warmAttempts = b.warmAttempts.load();
+    s.warmHits = b.warmHits.load();
+    s.warmMisses = b.warmMisses.load();
+    s.mipNodes = b.mipNodes.load();
+    s.mipProblemCopies = b.mipProblemCopies.load();
+    return s;
+}
+
+void
+resetSolverStats()
+{
+    detail::SolverCounterBlock &b = detail::solverCounters();
+    b.solves.store(0);
+    b.pivots.store(0);
+    b.warmAttempts.store(0);
+    b.warmHits.store(0);
+    b.warmMisses.store(0);
+    b.mipNodes.store(0);
+    b.mipProblemCopies.store(0);
+}
+
+void
+setSolverDiff(bool enabled)
+{
+    g_diff_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+SolverDiffStats
+solverDiffStats()
+{
+    DiffState &st = diffState();
+    SolverDiffStats out;
+    out.solves = st.solves.load();
+    out.disagreements = st.disagreements.load();
+    std::lock_guard<std::mutex> lock(st.mu);
+    out.firstReport = st.firstReport;
+    return out;
+}
+
+void
+resetSolverDiffStats()
+{
+    DiffState &st = diffState();
+    st.solves.store(0);
+    st.disagreements.store(0);
+    std::lock_guard<std::mutex> lock(st.mu);
+    st.firstReport.clear();
+}
+
+Solution
+solve(const Problem &p, const SolveOptions &opts)
+{
+    Solution sol;
+    if (g_diff_enabled.load(std::memory_order_relaxed)) {
+        sol = diffSolve(p, opts);
+    } else if (defaultSolver() == SolverKind::Sparse) {
+        sol = warmOrDense(p, opts);
+    } else {
+        sol = solveDense(p, opts);
+    }
+    detail::SolverCounterBlock &b = detail::solverCounters();
+    b.solves.fetch_add(1);
+    b.pivots.fetch_add(sol.pivots);
+    if (SRSIM_METRICS_ENABLED()) {
+        metrics::Registry::global().counter("solver.solves").add(1);
+        metrics::Registry::global()
+            .counter("solver.pivots")
+            .add(sol.pivots);
+    }
     return sol;
 }
 
@@ -477,22 +739,6 @@ struct Branch
     bool upper;   // true: var <= value, false: var >= value
     double value;
 };
-
-/** Solve p plus the branch bounds. */
-Solution
-solveWithBranches(const Problem &p,
-                  const std::vector<Branch> &branches,
-                  const SolveOptions &opts)
-{
-    Problem aug = p;
-    for (const Branch &b : branches) {
-        aug.addConstraint({{b.var, 1.0}},
-                          b.upper ? Relation::LessEq
-                                  : Relation::GreaterEq,
-                          b.value);
-    }
-    return solve(aug, opts);
-}
 
 } // namespace
 
@@ -507,9 +753,27 @@ solveMip(const Problem &p, const MipOptions &opts)
     double best_obj = std::numeric_limits<double>::infinity();
     bool capped = false;
     bool numerical = false;
+    std::size_t total_pivots = 0;
 
-    // Depth-first stack of branch sets.
-    std::vector<std::vector<Branch>> stack{{}};
+    // One B&B tree node: the branch bounds that define its
+    // subproblem, plus the parent relaxation's optimal basis for a
+    // dual-simplex warm start (empty at the root / in dense mode).
+    struct Node
+    {
+        std::vector<Branch> branches;
+        Basis parentBasis;
+    };
+
+    // A single working instance carries the branch bound rows:
+    // truncate back to the base constraints and append this node's
+    // bounds, instead of copying the whole Problem per node.
+    Problem work = p;
+    const std::size_t base_rows = work.numConstraints();
+    detail::solverCounters().mipProblemCopies.fetch_add(1);
+
+    // Depth-first stack of nodes.
+    std::vector<Node> stack;
+    stack.push_back(Node{});
     std::size_t nodes = 0;
 
     while (!stack.empty()) {
@@ -517,16 +781,30 @@ solveMip(const Problem &p, const MipOptions &opts)
             capped = true;
             break;
         }
-        const std::vector<Branch> branches = std::move(stack.back());
+        detail::solverCounters().mipNodes.fetch_add(1);
+        const Node node = std::move(stack.back());
         stack.pop_back();
 
-        const Solution rel = solveWithBranches(p, branches,
-                                               opts.lp);
+        work.truncateConstraints(base_rows);
+        for (const Branch &b : node.branches) {
+            work.addConstraint({{b.var, 1.0}},
+                               b.upper ? Relation::LessEq
+                                       : Relation::GreaterEq,
+                               b.value);
+        }
+        SolveOptions lpo = opts.lp;
+        lpo.warmStart =
+            node.parentBasis.empty() ? nullptr : &node.parentBasis;
+        Solution rel = solve(work, lpo);
+        total_pivots += rel.pivots;
+
         if (rel.status == Status::Unbounded) {
             // An unbounded relaxation at the root means the MIP is
             // unbounded too (branching only tightens).
-            if (branches.empty())
+            if (node.branches.empty()) {
+                rel.pivots = total_pivots;
                 return rel;
+            }
             continue;
         }
         if (rel.status == Status::NumericalFailure)
@@ -557,10 +835,12 @@ solveMip(const Problem &p, const MipOptions &opts)
         }
 
         const double v = rel.values[frac_var];
-        std::vector<Branch> down = branches;
-        down.push_back(Branch{frac_var, true, std::floor(v)});
-        std::vector<Branch> up = branches;
-        up.push_back(Branch{frac_var, false, std::ceil(v)});
+        Node down{node.branches, rel.basis};
+        down.branches.push_back(Branch{frac_var, true,
+                                       std::floor(v)});
+        Node up{node.branches, rel.basis};
+        up.branches.push_back(Branch{frac_var, false,
+                                     std::ceil(v)});
         // Explore the nearer bound first (stack order: push last).
         if (v - std::floor(v) <= 0.5) {
             stack.push_back(std::move(up));
@@ -574,6 +854,7 @@ solveMip(const Problem &p, const MipOptions &opts)
     if (capped && best.status != Status::Optimal) {
         Solution s;
         s.status = Status::IterationLimit;
+        s.pivots = total_pivots;
         return s;
     }
     if (capped)
@@ -583,6 +864,7 @@ solveMip(const Problem &p, const MipOptions &opts)
     // unless an incumbent was found anyway.
     if (numerical && best.status == Status::Infeasible)
         best.status = Status::NumericalFailure;
+    best.pivots = total_pivots;
     return best;
 }
 

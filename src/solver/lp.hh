@@ -17,7 +17,9 @@
 #ifndef SRSIM_SOLVER_LP_HH_
 #define SRSIM_SOLVER_LP_HH_
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
@@ -97,6 +99,14 @@ class Problem
         addConstraint(Constraint{std::move(terms), rel, rhs});
     }
 
+    /**
+     * Drop every constraint with index >= n (variables are kept).
+     * Branch and bound uses this to push/pop branch bound rows on a
+     * single working instance instead of copying the whole problem
+     * at every node.
+     */
+    void truncateConstraints(std::size_t n);
+
     std::size_t numVariables() const { return costs_.size(); }
     std::size_t numConstraints() const { return constraints_.size(); }
 
@@ -117,6 +127,35 @@ class Problem
     std::vector<Constraint> constraints_;
 };
 
+/**
+ * A snapshot of an optimal simplex basis, used to warm-start a
+ * re-solve of the same (or a structurally similar) problem.
+ *
+ * Entries are *symbolic* — "structural variable i", "row r's slack /
+ * surplus", "row r's artificial" — rather than raw standard-form
+ * column indices, so a basis survives re-solves whose slack column
+ * layout shifted (e.g. a branch-and-bound child that appended one
+ * bound row). The sparse solver validates a candidate basis against
+ * the new problem (dimension check, factorization, feasibility) and
+ * falls back to a cold two-phase solve when it does not fit.
+ */
+struct Basis
+{
+    enum class Kind : std::uint8_t { Structural, Slack, Artificial };
+    struct Entry
+    {
+        Kind kind = Kind::Slack;
+        /** Variable index (Structural) or row index (otherwise). */
+        std::uint32_t index = 0;
+    };
+    /** Basic entry per constraint row, in row order. */
+    std::vector<Entry> rows;
+    /** numVariables() of the problem the basis was taken from. */
+    std::size_t structurals = 0;
+
+    bool empty() const { return rows.empty(); }
+};
+
 /** Result of a solve. */
 struct Solution
 {
@@ -125,8 +164,17 @@ struct Solution
     double objective = 0.0;
     /** Variable values; meaningful only when status == Optimal. */
     std::vector<double> values;
-    /** Simplex pivots consumed (diagnostic). */
+    /**
+     * Simplex pivots consumed, *cumulative* across phase 1, phase 2,
+     * warm-start continuation, and (for solveMip) every explored
+     * branch-and-bound node.
+     */
     std::size_t pivots = 0;
+    /**
+     * Optimal basis snapshot for warm-starting a re-solve. Filled
+     * by both solvers on Optimal; empty otherwise.
+     */
+    Basis basis;
 
     bool feasible() const { return status == Status::Optimal; }
 };
@@ -155,19 +203,119 @@ struct SolveOptions
     double feasTol = 1e-7;
     /** Floor for the feasibility scale (guards all-zero RHS). */
     double feasFloor = 1e-6;
+    /**
+     * Candidate warm-start basis (borrowed; must outlive the call).
+     * Honored by the sparse revised solver only: when the basis fits
+     * the problem it resumes with primal phase-2 or dual-simplex
+     * steps; on dimension mismatch, singular factorization, or
+     * numerical failure it falls back to a cold two-phase solve.
+     * The dense solver ignores it.
+     */
+    const Basis *warmStart = nullptr;
 };
 
 /**
- * Solve the LP with the two-phase primal simplex method.
+ * Which solver stack the lp::solve dispatcher uses.
  *
- * Uses Dantzig pricing with an automatic switch to Bland's rule when
- * the objective stalls, which guarantees termination. Once taken,
- * the switch is sticky for the remainder of the solve (both phases):
- * reverting to Dantzig mid-solve could re-enter the degenerate cycle
- * that triggered it. Integrality marks are ignored (this is the
- * relaxation).
+ * Dense runs the two-phase tableau simplex for everything and
+ * ignores warm-start bases. Sparse layers the revised-simplex
+ * warm-start machinery on top of it: a solve carrying a usable warm
+ * basis resumes with revised primal/dual pivots, and everything
+ * else — cold solves, and any warm attempt that falls through the
+ * fallback ladder — runs the identical tableau path.
+ *
+ * Cold solves are therefore bit-identical across both kinds by
+ * construction. That is deliberate: published schedules print raw
+ * doubles, so the golden byte-identity suite requires the cold
+ * pipeline to be arithmetic-for-arithmetic deterministic, which no
+ * independently-implemented elimination order can provide. The
+ * genuinely independent sparse implementation (solveRevised) is the
+ * differential oracle instead: `srfuzz --solver-diff` cross-checks
+ * its verdicts and objectives against the tableau on every case.
+ */
+enum class SolverKind { Dense, Sparse };
+
+/**
+ * The process-wide default solver. Resolved once from the
+ * SRSIM_SOLVER environment variable ("dense" or "sparse"; default
+ * sparse) unless overridden by setDefaultSolver().
+ */
+SolverKind defaultSolver();
+
+/** Override the default solver (tests / benches / A-B runs). */
+void setDefaultSolver(SolverKind kind);
+
+/** Process-wide solver counters (monotonic, thread-safe). */
+struct SolverStats
+{
+    std::uint64_t solves = 0;
+    std::uint64_t pivots = 0;
+    std::uint64_t warmAttempts = 0;
+    std::uint64_t warmHits = 0;
+    std::uint64_t warmMisses = 0;
+    std::uint64_t mipNodes = 0;
+    std::uint64_t mipProblemCopies = 0;
+};
+
+/** Snapshot of the process-wide solver counters. */
+SolverStats solverStats();
+
+/** Reset the process-wide solver counters (tests / benches). */
+void resetSolverStats();
+
+/**
+ * Differential oracle mode: when enabled, every lp::solve runs the
+ * dense tableau, the sparse cold, and (when a warm basis was passed)
+ * the sparse warm solver, cross-checks status agreement and
+ * objective equality to 1e-6 relative, and records disagreements.
+ * The production result (per defaultSolver) is still returned, so
+ * enabling the oracle never changes published schedules.
+ */
+void setSolverDiff(bool enabled);
+
+/** Tally of the differential oracle. */
+struct SolverDiffStats
+{
+    std::uint64_t solves = 0;
+    std::uint64_t disagreements = 0;
+    /** Description of the first disagreement (empty when none). */
+    std::string firstReport;
+};
+
+SolverDiffStats solverDiffStats();
+void resetSolverDiffStats();
+
+namespace detail {
+
+/** Internal: the mutable counters behind solverStats(). */
+struct SolverCounterBlock
+{
+    std::atomic<std::uint64_t> solves{0};
+    std::atomic<std::uint64_t> pivots{0};
+    std::atomic<std::uint64_t> warmAttempts{0};
+    std::atomic<std::uint64_t> warmHits{0};
+    std::atomic<std::uint64_t> warmMisses{0};
+    std::atomic<std::uint64_t> mipNodes{0};
+    std::atomic<std::uint64_t> mipProblemCopies{0};
+};
+
+SolverCounterBlock &solverCounters();
+
+} // namespace detail
+
+/**
+ * Solve the LP relaxation with the stack selected by
+ * defaultSolver(): warm-start-capable (SolverKind::Sparse, the
+ * default) or pure dense tableau (SRSIM_SOLVER=dense). Cold solves
+ * produce bit-identical results under either kind; only solves
+ * carrying a usable SolveOptions::warmStart diverge, by resuming
+ * from the candidate basis instead of re-running two phases.
+ * Integrality marks are ignored (this is the relaxation).
  */
 Solution solve(const Problem &p, const SolveOptions &opts = {});
+
+/** The dense two-phase tableau simplex (the differential oracle). */
+Solution solveDense(const Problem &p, const SolveOptions &opts = {});
 
 /** Branch-and-bound knobs. */
 struct MipOptions

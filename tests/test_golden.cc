@@ -21,6 +21,7 @@
 #include <gtest/gtest.h>
 
 #include "golden_cases.hh"
+#include "solver/lp.hh"
 #include "util/thread_pool.hh"
 
 namespace srsim {
@@ -116,6 +117,36 @@ TEST(GoldenDeterminism, ThreadCountInvariant)
             << " thread(s)";
     }
     ThreadPool::setGlobalSize(ThreadPool::configuredSize());
+}
+
+/**
+ * The pinned bytes are solver-kind independent: cold compiles route
+ * through the identical tableau arithmetic under both SolverKind
+ * values (see lp::SolverKind), so forcing SRSIM_SOLVER=dense must
+ * reproduce the corpus byte-for-byte — proving the warm-start
+ * machinery never leaks into a cold pipeline.
+ */
+TEST(GoldenDeterminism, SolverKindInvariant)
+{
+    const lp::SolverKind prior = lp::defaultSolver();
+    for (const auto &gc : golden::goldenCases()) {
+        const std::string want = readFileOrEmpty(goldenPath(gc));
+        ASSERT_FALSE(want.empty())
+            << "missing golden file — run tools/regen_golden";
+        lp::setDefaultSolver(lp::SolverKind::Dense);
+        const std::string dense = golden::compileGoldenCase(gc);
+        lp::setDefaultSolver(lp::SolverKind::Sparse);
+        const std::string sparse = golden::compileGoldenCase(gc);
+        lp::setDefaultSolver(prior);
+        EXPECT_EQ(want, dense)
+            << "case '" << gc.name
+            << "' diverged under SRSIM_SOLVER=dense; "
+            << firstDiff(want, dense);
+        EXPECT_EQ(want, sparse)
+            << "case '" << gc.name
+            << "' diverged under SRSIM_SOLVER=sparse; "
+            << firstDiff(want, sparse);
+    }
 }
 
 } // namespace

@@ -414,6 +414,69 @@ TEST(OnlineCache, CanonicalKeyAndLru)
     EXPECT_NE(online::fnv1a64(k1), online::fnv1a64(k2));
 }
 
+/**
+ * The key covers the fabric wiring, not just its name: two fabrics
+ * that share a name but wire their nodes differently route (and so
+ * schedule) differently, and must not collide in the cache.
+ */
+TEST(OnlineCache, KeyCoversFabricWiring)
+{
+    class TwinFabric : public Topology
+    {
+      public:
+        explicit TwinFabric(bool ring)
+        {
+            setNumNodes(4);
+            if (ring) {
+                addLink(0, 1);
+                addLink(1, 2);
+                addLink(2, 3);
+                addLink(3, 0);
+            } else {
+                addLink(0, 1);
+                addLink(0, 2);
+                addLink(0, 3);
+                addLink(1, 2);
+            }
+        }
+        std::string name() const override { return "twin"; }
+
+      protected:
+        std::vector<Path>
+        minimalPathsImpl(NodeId, NodeId, std::size_t) const override
+        {
+            return {};
+        }
+        Path
+        routeLsdToMsdImpl(NodeId, NodeId) const override
+        {
+            return {};
+        }
+    };
+
+    const DvbParams dvb;
+    const TaskFlowGraph g = buildDvbTfg(dvb);
+    TimingModel tm;
+    tm.apSpeed = dvb.matchedApSpeed();
+    tm.bandwidth = 128.0;
+    SrCompilerConfig cfg;
+    cfg.inputPeriod = 2.4 * tm.tauC(g);
+
+    const TwinFabric ring(true);
+    const TwinFabric star(false);
+    ASSERT_EQ(ring.name(), star.name());
+    ASSERT_EQ(ring.numNodes(), star.numNodes());
+    ASSERT_EQ(ring.numLinks(), star.numLinks());
+
+    const TaskAllocation alloc = alloc::roundRobin(g, ring, 13);
+    const std::string kr =
+        online::canonicalWorkloadKey(g, ring, alloc, tm, cfg);
+    const std::string ks =
+        online::canonicalWorkloadKey(g, star, alloc, tm, cfg);
+    EXPECT_NE(kr, ks);
+    EXPECT_NE(online::fnv1a64(kr), online::fnv1a64(ks));
+}
+
 /** UpdatePeriod republishes at the new period, certified. */
 TEST(OnlinePeriod, UpdatePeriodRepublishes)
 {

@@ -1,0 +1,527 @@
+/**
+ * @file
+ * Sparse revised simplex + warm-start suite (label: solver).
+ *
+ * Covers the two roles of src/solver/revised.cc:
+ *
+ *  - as the independent differential oracle: solveRevised must agree
+ *    with the dense tableau on status and objective (alternate
+ *    optimal vertices allowed) across random feasible, infeasible,
+ *    and unbounded instances;
+ *  - as the production warm-start path: a re-solve from a cached
+ *    basis finishes in a handful of pivots, survives branch-row
+ *    churn via dual-simplex steps, and falls back to the
+ *    deterministic cold tableau (bit-identical values) whenever the
+ *    basis is stale, foreign, or the instance turned infeasible.
+ *
+ * Plus the bookkeeping the bench and service summaries rely on:
+ * cumulative Solution::pivots across phases and branch-and-bound
+ * nodes, SolverStats warm-start accounting, and the single-working-
+ * instance guarantee of solveMip (mipProblemCopies == 1).
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "solver/lp.hh"
+#include "solver/revised.hh"
+#include "util/rng.hh"
+
+namespace srsim {
+namespace {
+
+using lp::Basis;
+using lp::Problem;
+using lp::Relation;
+using lp::Solution;
+using lp::SolveOptions;
+using lp::Status;
+
+/** A small non-degenerate LP with a unique bounded optimum. */
+Problem
+sampleLp()
+{
+    // min -3x - 2y  s.t.  x + y <= 4, x + 3y <= 6.
+    Problem p;
+    const auto x = p.addVariable(-3.0, "x");
+    const auto y = p.addVariable(-2.0, "y");
+    p.addConstraint({{x, 1.0}, {y, 1.0}}, Relation::LessEq, 4.0);
+    p.addConstraint({{x, 1.0}, {y, 3.0}}, Relation::LessEq, 6.0);
+    return p;
+}
+
+/** Random bounded-feasible LP (mirrors the test_solver generator). */
+Problem
+randomFeasibleLp(Rng &rng)
+{
+    const int nvar = rng.uniformInt(3, 10);
+    const int ncon = rng.uniformInt(2, 12);
+    Problem p;
+    std::vector<double> feas;
+    for (int i = 0; i < nvar; ++i) {
+        p.addVariable(rng.uniformReal(-2.0, 2.0));
+        feas.push_back(rng.uniformReal(0.0, 5.0));
+    }
+    for (int c = 0; c < ncon; ++c) {
+        lp::Constraint con;
+        double lhs = 0.0;
+        for (int i = 0; i < nvar; ++i) {
+            if (rng.chance(0.6)) {
+                const double a = rng.uniformReal(-3.0, 3.0);
+                con.terms.emplace_back(static_cast<std::size_t>(i),
+                                       a);
+                lhs += a * feas[static_cast<std::size_t>(i)];
+            }
+        }
+        if (con.terms.empty())
+            continue;
+        if (rng.chance(0.5)) {
+            con.rel = Relation::LessEq;
+            con.rhs = lhs + rng.uniformReal(0.0, 4.0);
+        } else {
+            con.rel = Relation::GreaterEq;
+            con.rhs = lhs - rng.uniformReal(0.0, 4.0);
+        }
+        p.addConstraint(con);
+    }
+    for (int i = 0; i < nvar; ++i)
+        p.addConstraint({{static_cast<std::size_t>(i), 1.0}},
+                        Relation::LessEq, 50.0);
+    return p;
+}
+
+/** Status + objective agreement (the --solver-diff contract). */
+void
+expectAgrees(const Solution &dense, const Solution &sparse,
+             const char *what)
+{
+    ASSERT_EQ(dense.status, sparse.status) << what;
+    if (dense.status == Status::Optimal) {
+        const double scale =
+            std::max({1.0, std::abs(dense.objective),
+                      std::abs(sparse.objective)});
+        EXPECT_NEAR(dense.objective, sparse.objective,
+                    1e-6 * scale)
+            << what;
+    }
+}
+
+class RevisedRandomParity : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(RevisedRandomParity, ColdAgreesWithDense)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()));
+    const Problem p = randomFeasibleLp(rng);
+    const Solution dense = lp::solveDense(p);
+    const Solution sparse = lp::solveRevised(p);
+    expectAgrees(dense, sparse, "random feasible");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RevisedRandomParity,
+                         ::testing::Range(1, 41));
+
+TEST(RevisedCold, InfeasibleAgreement)
+{
+    Problem p;
+    const auto x = p.addVariable(1.0, "x");
+    p.addConstraint({{x, 1.0}}, Relation::LessEq, 1.0);
+    p.addConstraint({{x, 1.0}}, Relation::GreaterEq, 2.0);
+    const Solution dense = lp::solveDense(p);
+    const Solution sparse = lp::solveRevised(p);
+    ASSERT_EQ(dense.status, Status::Infeasible);
+    EXPECT_EQ(sparse.status, Status::Infeasible);
+}
+
+TEST(RevisedCold, UnboundedAgreement)
+{
+    Problem p;
+    const auto x = p.addVariable(-1.0, "x");
+    const auto y = p.addVariable(0.0, "y");
+    p.addConstraint({{y, 1.0}}, Relation::LessEq, 1.0);
+    (void)x;
+    const Solution dense = lp::solveDense(p);
+    const Solution sparse = lp::solveRevised(p);
+    ASSERT_EQ(dense.status, Status::Unbounded);
+    EXPECT_EQ(sparse.status, Status::Unbounded);
+}
+
+TEST(RevisedCold, ExportsBasisOnOptimal)
+{
+    const Problem p = sampleLp();
+    const Solution dense = lp::solveDense(p);
+    ASSERT_EQ(dense.status, Status::Optimal);
+    EXPECT_EQ(dense.basis.rows.size(), p.numConstraints());
+    EXPECT_EQ(dense.basis.structurals, p.numVariables());
+    const Solution sparse = lp::solveRevised(p);
+    ASSERT_EQ(sparse.status, Status::Optimal);
+    EXPECT_EQ(sparse.basis.rows.size(), p.numConstraints());
+}
+
+/** Re-solving the identical problem from its own basis: 0 pivots. */
+TEST(RevisedWarm, IdenticalResolveTakesNoPivots)
+{
+    const Problem p = sampleLp();
+    const Solution cold = lp::solveDense(p);
+    ASSERT_EQ(cold.status, Status::Optimal);
+    ASSERT_GT(cold.pivots, 0u);
+
+    SolveOptions opts;
+    opts.warmStart = &cold.basis;
+    Solution warm;
+    ASSERT_TRUE(lp::solveRevisedWarm(p, opts, warm));
+    EXPECT_EQ(warm.status, Status::Optimal);
+    EXPECT_EQ(warm.pivots, 0u);
+    EXPECT_NEAR(warm.objective, cold.objective, 1e-9);
+}
+
+/** RHS drift keeps the basis optimal: still 0 pivots, new values. */
+TEST(RevisedWarm, RhsDriftReusesBasis)
+{
+    Problem p = sampleLp();
+    const Solution cold = lp::solveDense(p);
+    ASSERT_EQ(cold.status, Status::Optimal);
+
+    // Same structure, slightly relaxed capacities.
+    Problem p2;
+    const auto x = p2.addVariable(-3.0, "x");
+    const auto y = p2.addVariable(-2.0, "y");
+    p2.addConstraint({{x, 1.0}, {y, 1.0}}, Relation::LessEq, 4.5);
+    p2.addConstraint({{x, 1.0}, {y, 3.0}}, Relation::LessEq, 6.5);
+    ASSERT_EQ(lp::structureSignature(p),
+              lp::structureSignature(p2));
+
+    SolveOptions opts;
+    opts.warmStart = &cold.basis;
+    Solution warm;
+    ASSERT_TRUE(lp::solveRevisedWarm(p2, opts, warm));
+    ASSERT_EQ(warm.status, Status::Optimal);
+    expectAgrees(lp::solveDense(p2), warm, "rhs drift");
+    EXPECT_LT(warm.pivots, lp::solveDense(p2).pivots);
+}
+
+/**
+ * The branch-and-bound child case: one appended bound row cuts off
+ * the cached optimum. Dual-simplex steps must restore feasibility
+ * without a cold restart.
+ */
+TEST(RevisedWarm, StaleBasisAfterConstraintAddUsesDualSteps)
+{
+    Problem p = sampleLp();
+    const Solution cold = lp::solveDense(p);
+    ASSERT_EQ(cold.status, Status::Optimal);
+    // Optimum is x=4, y=0; force x <= 2.
+    p.addConstraint({{0, 1.0}}, Relation::LessEq, 2.0);
+
+    SolveOptions opts;
+    opts.warmStart = &cold.basis;
+    Solution warm;
+    ASSERT_TRUE(lp::solveRevisedWarm(p, opts, warm));
+    ASSERT_EQ(warm.status, Status::Optimal);
+    const Solution fresh = lp::solveDense(p);
+    expectAgrees(fresh, warm, "appended branch row");
+    EXPECT_LE(warm.values[0], 2.0 + 1e-6);
+    // On this tiny LP the dual repair cannot beat a 2-pivot cold
+    // solve outright; the bound that matters is "no worse".
+    EXPECT_LE(warm.pivots, fresh.pivots);
+}
+
+/**
+ * A basis from a problem with more rows than the target does not
+ * fit: the warm attempt must fail and the dispatcher's fallback must
+ * return the cold tableau result bit-for-bit.
+ */
+TEST(RevisedWarm, RemovedConstraintFallsBackCold)
+{
+    Problem big = sampleLp();
+    big.addConstraint({{0, 1.0}}, Relation::LessEq, 3.0);
+    const Solution cold = lp::solveDense(big);
+    ASSERT_EQ(cold.status, Status::Optimal);
+    ASSERT_EQ(cold.basis.rows.size(), 3u);
+
+    const Problem small = sampleLp(); // 2 rows: dimension mismatch
+    SolveOptions opts;
+    opts.warmStart = &cold.basis;
+    Solution warm;
+    EXPECT_FALSE(lp::solveRevisedWarm(small, opts, warm));
+
+    // Through the dispatcher: identical to a cold dense solve.
+    const Solution viaDispatch = lp::solve(small, opts);
+    const Solution dense = lp::solveDense(small);
+    ASSERT_EQ(viaDispatch.status, dense.status);
+    EXPECT_EQ(viaDispatch.objective, dense.objective);
+    ASSERT_EQ(viaDispatch.values.size(), dense.values.size());
+    for (std::size_t i = 0; i < dense.values.size(); ++i)
+        EXPECT_EQ(viaDispatch.values[i], dense.values[i])
+            << "value " << i << " not bit-identical to cold";
+}
+
+/** A warm basis on a now-infeasible instance: verdict Infeasible. */
+TEST(RevisedWarm, InfeasibleAfterTighteningIsDetected)
+{
+    Problem p = sampleLp();
+    const Solution cold = lp::solveDense(p);
+    ASSERT_EQ(cold.status, Status::Optimal);
+    // x + y <= 4 together with x + y >= 9: empty.
+    p.addConstraint({{0, 1.0}, {1, 1.0}}, Relation::GreaterEq, 9.0);
+
+    SolveOptions opts;
+    opts.warmStart = &cold.basis;
+    const Solution s = lp::solve(p, opts);
+    EXPECT_EQ(s.status, Status::Infeasible);
+    EXPECT_EQ(s.status, lp::solveDense(p).status);
+}
+
+/** Garbage bases (duplicates, bad dims) never poison the solve. */
+TEST(RevisedWarm, GarbageBasisFallsBackCold)
+{
+    const Problem p = sampleLp();
+    Basis junk;
+    junk.structurals = p.numVariables();
+    junk.rows.assign(p.numConstraints(),
+                     {Basis::Kind::Structural, 0}); // duplicate var
+    SolveOptions opts;
+    opts.warmStart = &junk;
+    Solution warm;
+    EXPECT_FALSE(lp::solveRevisedWarm(p, opts, warm));
+    const Solution s = lp::solve(p, opts);
+    const Solution dense = lp::solveDense(p);
+    ASSERT_EQ(s.status, Status::Optimal);
+    EXPECT_EQ(s.objective, dense.objective);
+}
+
+/** Degenerate/hostile data under a warm basis stays a verdict. */
+TEST(RevisedWarm, DegenerateResolveStaysSane)
+{
+    // Degenerate: several constraints active at the optimum.
+    Problem p;
+    const auto x = p.addVariable(-1.0, "x");
+    const auto y = p.addVariable(-1.0, "y");
+    p.addConstraint({{x, 1.0}}, Relation::LessEq, 1.0);
+    p.addConstraint({{y, 1.0}}, Relation::LessEq, 1.0);
+    p.addConstraint({{x, 1.0}, {y, 1.0}}, Relation::LessEq, 2.0);
+    p.addConstraint({{x, 1.0}, {y, 1.0}}, Relation::GreaterEq, 2.0);
+    const Solution cold = lp::solveDense(p);
+    ASSERT_EQ(cold.status, Status::Optimal);
+
+    SolveOptions opts;
+    opts.warmStart = &cold.basis;
+    const Solution s = lp::solve(p, opts);
+    ASSERT_EQ(s.status, Status::Optimal);
+    EXPECT_NEAR(s.objective, cold.objective, 1e-9);
+}
+
+/** Warm chains across RHS churn agree with dense on every step. */
+TEST(RevisedWarm, ChurnChainAgreesWithDense)
+{
+    Rng rng(7);
+    for (int seed = 1; seed <= 10; ++seed) {
+        Rng gen(static_cast<std::uint64_t>(seed) * 977u);
+        Problem p = randomFeasibleLp(gen);
+        Solution prev = lp::solveDense(p);
+        if (prev.status != Status::Optimal)
+            continue;
+        for (int step = 0; step < 4; ++step) {
+            // Drift every RHS a little; structure unchanged.
+            Problem q;
+            for (std::size_t i = 0; i < p.numVariables(); ++i)
+                q.addVariable(p.costs()[i]);
+            for (const lp::Constraint &c : p.constraints()) {
+                lp::Constraint c2 = c;
+                c2.rhs += rng.uniformReal(0.0, 0.5);
+                q.addConstraint(c2);
+            }
+            SolveOptions opts;
+            opts.warmStart = &prev.basis;
+            const Solution warm = lp::solve(q, opts);
+            const Solution dense = lp::solveDense(q);
+            expectAgrees(dense, warm, "churn step");
+            p = q;
+            if (warm.status == Status::Optimal &&
+                !warm.basis.empty())
+                prev = warm;
+        }
+    }
+}
+
+/** solveMip: cumulative pivots, one working copy, counted nodes. */
+TEST(RevisedMip, CumulativePivotsSingleWorkingCopy)
+{
+    // max x + y over a fractional-vertex polytope (relaxation
+    // optimum x = y = 11/6); integrality forces branching.
+    Problem p;
+    const auto x = p.addVariable(-1.0, "x");
+    const auto y = p.addVariable(-1.0, "y");
+    p.addConstraint({{x, 4.0}, {y, 2.0}}, Relation::LessEq, 11.0);
+    p.addConstraint({{x, 2.0}, {y, 4.0}}, Relation::LessEq, 11.0);
+    p.markInteger(x);
+    p.markInteger(y);
+
+    lp::resetSolverStats();
+    const Solution root = lp::solveDense(p);
+    ASSERT_EQ(root.status, Status::Optimal);
+    const std::size_t rootPivots = root.pivots;
+
+    lp::resetSolverStats();
+    const Solution mip = lp::solveMip(p);
+    ASSERT_EQ(mip.status, Status::Optimal);
+    EXPECT_NEAR(mip.values[x] - std::round(mip.values[x]), 0.0,
+                1e-6);
+    EXPECT_NEAR(mip.values[y] - std::round(mip.values[y]), 0.0,
+                1e-6);
+
+    const lp::SolverStats st = lp::solverStats();
+    EXPECT_GT(st.mipNodes, 1u) << "expected actual branching";
+    EXPECT_EQ(st.mipProblemCopies, 1u)
+        << "B&B must reuse one working instance";
+    // Pivots accumulate across every explored node.
+    EXPECT_GE(mip.pivots, rootPivots);
+    EXPECT_EQ(st.pivots, mip.pivots);
+}
+
+TEST(RevisedSignature, CoversStructureNotData)
+{
+    const Problem a = sampleLp();
+    Problem b = sampleLp();
+    // Numeric drift only: same signature.
+    {
+        Problem c;
+        const auto x = c.addVariable(-5.0, "x");
+        const auto y = c.addVariable(-1.0, "y");
+        c.addConstraint({{x, 2.0}, {y, 1.5}}, Relation::LessEq,
+                        9.0);
+        c.addConstraint({{x, 1.0}, {y, 4.0}}, Relation::LessEq,
+                        7.0);
+        EXPECT_EQ(lp::structureSignature(a),
+                  lp::structureSignature(c));
+    }
+    // Extra row: different signature.
+    b.addConstraint({{0, 1.0}}, Relation::LessEq, 2.0);
+    EXPECT_NE(lp::structureSignature(a),
+              lp::structureSignature(b));
+    // Different relation: different signature.
+    {
+        Problem d;
+        const auto x = d.addVariable(-3.0, "x");
+        const auto y = d.addVariable(-2.0, "y");
+        d.addConstraint({{x, 1.0}, {y, 1.0}}, Relation::GreaterEq,
+                        4.0);
+        d.addConstraint({{x, 1.0}, {y, 3.0}}, Relation::LessEq,
+                        6.0);
+        EXPECT_NE(lp::structureSignature(a),
+                  lp::structureSignature(d));
+    }
+    // Different sparsity pattern: different signature.
+    {
+        Problem e;
+        const auto x = e.addVariable(-3.0, "x");
+        const auto y = e.addVariable(-2.0, "y");
+        e.addConstraint({{x, 1.0}}, Relation::LessEq, 4.0);
+        e.addConstraint({{x, 1.0}, {y, 3.0}}, Relation::LessEq,
+                        6.0);
+        EXPECT_NE(lp::structureSignature(a),
+                  lp::structureSignature(e));
+    }
+}
+
+TEST(RevisedCache, StoreLookupAndSignatureGate)
+{
+    const Problem p = sampleLp();
+    const Solution cold = lp::solveDense(p);
+    ASSERT_EQ(cold.status, Status::Optimal);
+    const std::uint64_t sig = lp::structureSignature(p);
+
+    lp::BasisCache cache;
+    EXPECT_EQ(cache.size(), 0u);
+    Basis out;
+    EXPECT_FALSE(cache.lookup("k", sig, out));
+    cache.store("k", sig, cold.basis);
+    EXPECT_EQ(cache.size(), 1u);
+    ASSERT_TRUE(cache.lookup("k", sig, out));
+    EXPECT_EQ(out.rows.size(), cold.basis.rows.size());
+    // A structural change gates the entry off.
+    EXPECT_FALSE(cache.lookup("k", sig + 1, out));
+    // Overwrite keeps one entry per key.
+    cache.store("k", sig + 1, cold.basis);
+    EXPECT_EQ(cache.size(), 1u);
+    ASSERT_TRUE(cache.lookup("k", sig + 1, out));
+}
+
+TEST(RevisedStats, WarmAccounting)
+{
+    const Problem p = sampleLp();
+    const Solution cold = lp::solveDense(p);
+    ASSERT_EQ(cold.status, Status::Optimal);
+
+    lp::resetSolverStats();
+    SolveOptions opts;
+    opts.warmStart = &cold.basis;
+    const Solution hit = lp::solve(p, opts);
+    ASSERT_EQ(hit.status, Status::Optimal);
+
+    Basis junk;
+    junk.structurals = p.numVariables();
+    junk.rows.assign(p.numConstraints(),
+                     {Basis::Kind::Structural, 0});
+    SolveOptions bad;
+    bad.warmStart = &junk;
+    const Solution miss = lp::solve(p, bad);
+    ASSERT_EQ(miss.status, Status::Optimal);
+
+    const lp::SolverStats st = lp::solverStats();
+    EXPECT_EQ(st.solves, 2u);
+    EXPECT_EQ(st.warmAttempts, 2u);
+    EXPECT_EQ(st.warmHits, 1u);
+    EXPECT_EQ(st.warmMisses, 1u);
+    EXPECT_GT(st.pivots, 0u);
+}
+
+TEST(RevisedDiff, OracleSeesNoDisagreements)
+{
+    lp::resetSolverDiffStats();
+    lp::setSolverDiff(true);
+    Rng rng(42);
+    for (int seed = 0; seed < 20; ++seed) {
+        Rng gen(static_cast<std::uint64_t>(seed) * 131u + 7u);
+        const Problem p = randomFeasibleLp(gen);
+        const Solution cold = lp::solve(p);
+        if (cold.status == Status::Optimal) {
+            SolveOptions opts;
+            opts.warmStart = &cold.basis;
+            (void)lp::solve(p, opts); // warm leg cross-checked too
+        }
+    }
+    lp::setSolverDiff(false);
+    const lp::SolverDiffStats ds = lp::solverDiffStats();
+    EXPECT_GT(ds.solves, 0u);
+    EXPECT_EQ(ds.disagreements, 0u) << ds.firstReport;
+}
+
+/** SRSIM_SOLVER=dense ignores warm bases entirely. */
+TEST(RevisedKind, DenseKindIgnoresWarmStart)
+{
+    const Problem p = sampleLp();
+    const Solution cold = lp::solveDense(p);
+    ASSERT_EQ(cold.status, Status::Optimal);
+
+    const lp::SolverKind prior = lp::defaultSolver();
+    lp::setDefaultSolver(lp::SolverKind::Dense);
+    lp::resetSolverStats();
+    SolveOptions opts;
+    opts.warmStart = &cold.basis;
+    const Solution s = lp::solve(p, opts);
+    const lp::SolverStats st = lp::solverStats();
+    lp::setDefaultSolver(prior);
+
+    ASSERT_EQ(s.status, Status::Optimal);
+    EXPECT_EQ(s.objective, cold.objective);
+    EXPECT_EQ(st.warmAttempts, 0u);
+    EXPECT_EQ(s.pivots, cold.pivots);
+}
+
+} // namespace
+} // namespace srsim

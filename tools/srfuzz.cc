@@ -23,8 +23,15 @@
  * Common flags: [--out DIR] (failure dump directory, default '.'),
  * [--invocations N], [--max-shrink-evals N], [--no-shrink].
  *
+ * [--solver-diff] additionally runs every LP solve through the
+ * dense tableau, the sparse revised solver (cold), and — when a
+ * warm basis is offered — the warm-started revised solver, and
+ * cross-checks status agreement and objective equality to 1e-6
+ * relative. Any disagreement is a failure.
+ *
  * Exit status: 0 when every case behaved (no aborts, no oracle
- * divergences), 1 when any failure was found, 2 on usage errors.
+ * divergences, no solver disagreements), 1 when any failure was
+ * found, 2 on usage errors.
  */
 
 #include <chrono>
@@ -40,6 +47,7 @@
 #include "fuzz/fuzz_case.hh"
 #include "fuzz/generator.hh"
 #include "fuzz/shrink.hh"
+#include "solver/lp.hh"
 #include "util/logging.hh"
 
 namespace {
@@ -79,6 +87,10 @@ usage()
         "  srfuzz --corpus DIR\n"
         "common: [--invocations N] [--max-shrink-evals N]\n"
         "        [--no-shrink] [--quiet] [--multi]\n"
+        "        [--solver-diff]\n"
+        "--solver-diff cross-checks every LP solve across the\n"
+        "dense, sparse-cold, and warm-started solvers (status +\n"
+        "objective to 1e-6); any disagreement fails the run.\n"
         "--multi draws multi-session daemon cases (crash-recovery\n"
         "oracle) instead of batch/churn cases.\n"
         "Flags also accept --key=value.\n";
@@ -297,6 +309,27 @@ cmdCorpus(const Options &opts)
     return tally.failures ? 1 : 0;
 }
 
+/**
+ * Report the cross-solver tally and escalate the exit status when
+ * any solve disagreed (--solver-diff runs only).
+ */
+int
+finishSolverDiff(int rc)
+{
+    const srsim::lp::SolverDiffStats ds =
+        srsim::lp::solverDiffStats();
+    std::cout << "srfuzz solver-diff: " << ds.solves
+              << " solves cross-checked, " << ds.disagreements
+              << " disagreements\n";
+    if (ds.disagreements != 0) {
+        if (!ds.firstReport.empty())
+            std::cerr << "first disagreement: " << ds.firstReport
+                      << "\n";
+        return rc == 0 ? 1 : rc;
+    }
+    return rc;
+}
+
 } // namespace
 
 int
@@ -312,7 +345,8 @@ main(int argc, char **argv)
         if (eq != std::string::npos) {
             opts.kv[arg.substr(0, eq)] = arg.substr(eq + 1);
         } else if (arg == "no-shrink" || arg == "quiet" ||
-                   arg == "shrink" || arg == "multi") {
+                   arg == "shrink" || arg == "multi" ||
+                   arg == "solver-diff") {
             opts.kv[arg] = "1";
         } else if (i + 1 < argc) {
             opts.kv[arg] = argv[++i];
@@ -321,18 +355,25 @@ main(int argc, char **argv)
         }
     }
 
+    const bool solver_diff = opts.has("solver-diff");
+    if (solver_diff)
+        srsim::lp::setSolverDiff(true);
+
     try {
+        int rc;
         if (opts.has("replay"))
-            return cmdReplay(opts);
-        if (opts.has("emit-seed"))
-            return cmdEmit(opts);
-        if (opts.has("corpus"))
-            return cmdCorpus(opts);
-        if (opts.has("minutes"))
-            return cmdMinutes(opts);
-        if (opts.has("seeds"))
-            return cmdSeeds(opts);
-        return usage();
+            rc = cmdReplay(opts);
+        else if (opts.has("emit-seed"))
+            rc = cmdEmit(opts);
+        else if (opts.has("corpus"))
+            rc = cmdCorpus(opts);
+        else if (opts.has("minutes"))
+            rc = cmdMinutes(opts);
+        else if (opts.has("seeds"))
+            rc = cmdSeeds(opts);
+        else
+            return usage();
+        return solver_diff ? finishSolverDiff(rc) : rc;
     } catch (const srsim::FatalError &) {
         return 2;
     }

@@ -57,6 +57,7 @@
 #include "online/service.hh"
 #include "server/daemon.hh"
 #include "server/protocol.hh"
+#include "solver/lp.hh"
 #include "tfg/tfg_io.hh"
 #include "tfg/timing.hh"
 #include "topology/factory.hh"
@@ -698,6 +699,18 @@ cmdServe(const Options &opts)
                  : static_cast<double>(cache.hits()) /
                        static_cast<double>(lookups));
         w.endObject();
+        {
+            const lp::SolverStats ss = lp::solverStats();
+            w.key("solver").beginObject();
+            w.kv("solves", ss.solves);
+            w.kv("pivots", ss.pivots);
+            w.key("warmstart").beginObject();
+            w.kv("attempts", ss.warmAttempts);
+            w.kv("hits", ss.warmHits);
+            w.kv("misses", ss.warmMisses);
+            w.endObject();
+            w.endObject();
+        }
         // An empty script (or one with no admits) has no latency
         // distribution; emit the count and no fabricated zeros.
         w.key("admitLatencyMs").beginObject();
@@ -875,6 +888,18 @@ cmdDaemon(const Options &opts)
              static_cast<std::uint64_t>(cache.size()));
         w.kv("bytes", cache.bytes());
         w.endObject();
+        {
+            const lp::SolverStats ss = lp::solverStats();
+            w.key("solver").beginObject();
+            w.kv("solves", ss.solves);
+            w.kv("pivots", ss.pivots);
+            w.key("warmstart").beginObject();
+            w.kv("attempts", ss.warmAttempts);
+            w.kv("hits", ss.warmHits);
+            w.kv("misses", ss.warmMisses);
+            w.endObject();
+            w.endObject();
+        }
         w.key("queueMs").beginObject();
         w.kv("count", static_cast<std::uint64_t>(
                           queueWaits.size()));
