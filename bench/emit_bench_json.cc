@@ -22,6 +22,7 @@
 
 #include "core/sr_compiler.hh"
 #include "cpsim/cp_simulator.hh"
+#include "engine/context.hh"
 #include "exp/experiment.hh"
 #include "mapping/allocation.hh"
 #include "metrics/metrics.hh"
@@ -341,12 +342,14 @@ main(int argc, char **argv)
     // so every request is a real re-solve; see bench/solver_bench
     // for the standalone version.
     records.push_back(runScenario("solver_warm_churn", [&] {
-        const auto churn = [&](std::vector<double> *ms) {
+        const auto churn = [&](const engine::EngineContext *ctx,
+                               std::vector<double> *ms) {
             auto o = onlineSetup();
             const auto topo = makeTopology("torus:4,4,4");
             const TaskAllocation alloc =
                 alloc::roundRobin(o.g, *topo, 13);
             online::OnlineSchedulerConfig scfg;
+            scfg.compiler.ctx = ctx;
             scfg.compiler.inputPeriod = 2.4 * o.tm.tauC(o.g);
             scfg.cacheCapacity = 0;
             online::OnlineScheduler svc(
@@ -366,12 +369,21 @@ main(int argc, char **argv)
                 svc.remove(spec.name);
             }
         };
-        lp::setDefaultSolver(lp::SolverKind::Dense);
-        churn(nullptr);
+        engine::ChildOptions dopts, sopts;
+        dopts.name = "bench.dense";
+        dopts.solverKind = lp::SolverKind::Dense;
+        sopts.name = "bench.sparse";
+        sopts.solverKind = lp::SolverKind::Sparse;
+        const auto denseCtx =
+            engine::EngineContext::processDefault().createChild(
+                dopts);
+        const auto sparseCtx =
+            engine::EngineContext::processDefault().createChild(
+                sopts);
+        churn(denseCtx.get(), nullptr);
         const lp::SolverStats cold = lp::solverStats();
-        lp::setDefaultSolver(lp::SolverKind::Sparse);
         std::vector<double> ms;
-        churn(&ms);
+        churn(sparseCtx.get(), &ms);
         const lp::SolverStats warm = lp::solverStats();
         auto &reg = metrics::Registry::global();
         reg.counter("bench.solver.cold_pivots").add(cold.pivots);

@@ -34,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/context.hh"
 #include "mapping/allocation.hh"
 #include "online/service.hh"
 #include "solver/lp.hh"
@@ -68,7 +69,7 @@ struct Tally
  * off: every request re-solves the touched subsets for real.
  */
 Tally
-runChurn(int rounds)
+runChurn(int rounds, const engine::EngineContext *ctx)
 {
     DvbParams dvb;
     TaskFlowGraph g = buildDvbTfg(dvb);
@@ -79,6 +80,7 @@ runChurn(int rounds)
     const TaskAllocation alloc = alloc::roundRobin(g, *topo, 13);
 
     online::OnlineSchedulerConfig scfg;
+    scfg.compiler.ctx = ctx;
     scfg.compiler.inputPeriod = 2.4 * tm.tauC(g);
     scfg.cacheCapacity = 0;
 
@@ -116,7 +118,7 @@ runChurn(int rounds)
  * relaxations sit at fractional vertices, forcing deep trees.
  */
 Tally
-runMip(int instances)
+runMip(int instances, lp::SolverKind kind)
 {
     Tally t;
     lp::resetSolverStats();
@@ -139,7 +141,9 @@ runMip(int instances)
                                 lp::Relation::GreaterEq,
                                 3.0 + 0.5 * (k % 4));
             }
-            const lp::Solution s = lp::solveMip(p);
+            lp::MipOptions mo;
+            mo.lp.kind = kind;
+            const lp::Solution s = lp::solveMip(p, mo);
             if (s.status != lp::Status::Optimal) {
                 std::cerr << "mip instance " << k << " not optimal\n";
                 std::exit(1);
@@ -204,12 +208,22 @@ main(int argc, char **argv)
     std::cerr << "# solver_bench: cold (SRSIM_SOLVER=dense) vs "
                  "warm-started re-solves\n";
 
-    lp::setDefaultSolver(lp::SolverKind::Dense);
-    const Tally churn_cold = runChurn(10);
-    const Tally mip_cold = runMip(6);
-    lp::setDefaultSolver(lp::SolverKind::Sparse);
-    const Tally churn_warm = runChurn(10);
-    const Tally mip_warm = runMip(6);
+    // Solver kind is per-context now: pin each stack in its own
+    // child context instead of flipping a process global.
+    engine::ChildOptions dopts, sopts;
+    dopts.name = "bench.dense";
+    dopts.solverKind = lp::SolverKind::Dense;
+    sopts.name = "bench.sparse";
+    sopts.solverKind = lp::SolverKind::Sparse;
+    const auto denseCtx =
+        engine::EngineContext::processDefault().createChild(dopts);
+    const auto sparseCtx =
+        engine::EngineContext::processDefault().createChild(sopts);
+
+    const Tally churn_cold = runChurn(10, denseCtx.get());
+    const Tally mip_cold = runMip(6, lp::SolverKind::Dense);
+    const Tally churn_warm = runChurn(10, sparseCtx.get());
+    const Tally mip_warm = runMip(6, lp::SolverKind::Sparse);
 
     report(os, "online_churn", churn_cold, churn_warm);
     report(os, "mip_branch_and_bound", mip_cold, mip_warm);

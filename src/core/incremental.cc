@@ -4,6 +4,8 @@
 #include <string>
 
 #include "core/subsets.hh"
+#include "engine/context.hh"
+#include "metrics/metrics.hh"
 #include "trace/trace.hh"
 
 namespace srsim {
@@ -18,6 +20,7 @@ resolveDirtySubsets(const TimeBounds &bounds,
                     const IncrementalSolveOptions &opts)
 {
     IncrementalSolveResult res;
+    const engine::EngineContext &ectx = engine::resolve(opts.ctx);
 
     // Re-partition under the (possibly rerouted) assignment. Subsets
     // free of dirty members and derated links kept exactly their
@@ -50,12 +53,13 @@ resolveDirtySubsets(const TimeBounds &bounds,
         {
             const std::string name =
                 std::string(opts.tracePrefix) + "_allocation";
-            trace::ScopedPhase phase(name.c_str());
+            trace::ScopedPhase phase(name.c_str(), ectx.tracer(),
+                                     ectx.metricsRegistry());
             fresh = allocateMessageIntervals(
                 bounds, intervals, pa, dirtySubsets,
                 opts.allocMethod, opts.scheduling.guardTime,
                 opts.scheduling.packetTime, opts.topo,
-                opts.basisCache);
+                opts.basisCache, opts.ctx);
         }
         if (!fresh.feasible) {
             res.failedStage =
@@ -72,10 +76,13 @@ resolveDirtySubsets(const TimeBounds &bounds,
         {
             const std::string name =
                 std::string(opts.tracePrefix) + "_scheduling";
-            trace::ScopedPhase phase(name.c_str());
+            trace::ScopedPhase phase(name.c_str(), ectx.tracer(),
+                                     ectx.metricsRegistry());
             IntervalSchedulingOptions sopts = opts.scheduling;
             if (sopts.basisCache == nullptr)
                 sopts.basisCache = opts.basisCache;
+            if (sopts.ctx == nullptr)
+                sopts.ctx = opts.ctx;
             freshSched = scheduleIntervals(bounds, intervals, pa,
                                            dirtySubsets, fresh,
                                            sopts);

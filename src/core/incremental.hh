@@ -65,6 +65,13 @@ struct IncrementalSolveOptions
      * resume in a handful of pivots. nullptr keeps solves cold.
      */
     lp::BasisCache *basisCache = nullptr;
+    /**
+     * Engine context the re-solve runs under (tracer, metrics,
+     * thread pool, solver kind). Propagated into the scheduling
+     * options unless those name their own context. nullptr uses the
+     * process default context.
+     */
+    const engine::EngineContext *ctx = nullptr;
 };
 
 /** Outcome of one incremental re-solve. */

@@ -5,6 +5,7 @@
 #include <map>
 #include <sstream>
 
+#include "engine/context.hh"
 #include "solver/lp.hh"
 #include "solver/revised.hh"
 #include "util/logging.hh"
@@ -53,7 +54,8 @@ bool
 allocateSubsetLp(const TimeBounds &bounds, const IntervalSet &ivs,
                  const PathAssignment &pa, const MessageSubset &sub,
                  Time guard, const Topology *topo,
-                 lp::BasisCache *basisCache, Matrix<Time> &P,
+                 lp::BasisCache *basisCache,
+                 const engine::EngineContext &ectx, Matrix<Time> &P,
                  double &peakLoad, lp::Status &status,
                  std::string &error)
 {
@@ -119,7 +121,7 @@ allocateSubsetLp(const TimeBounds &bounds, const IntervalSet &ivs,
     // The key folds in the structure signature, so the cache keeps
     // one basis per structural variant of the subset (admission /
     // removal churn alternates between them).
-    lp::SolveOptions sopts;
+    lp::SolveOptions sopts = ectx.solveOptions();
     lp::Basis warm;
     std::string cacheKey;
     std::uint64_t sig = 0;
@@ -320,8 +322,10 @@ allocateMessageIntervals(const TimeBounds &bounds,
                          const std::vector<MessageSubset> &subsets,
                          AllocationMethod method, Time guardTime,
                          Time packetTime, const Topology *topo,
-                         lp::BasisCache *basisCache)
+                         lp::BasisCache *basisCache,
+                         const engine::EngineContext *ctx)
 {
+    const engine::EngineContext &ectx = engine::resolve(ctx);
     IntervalAllocation out;
     out.allocation =
         Matrix<Time>(bounds.messages.size(), intervals.size(), 0.0);
@@ -333,7 +337,7 @@ allocateMessageIntervals(const TimeBounds &bounds,
     // subset, reproducing the serial early-exit byte for byte
     // (including a failed greedy subset's partial rows).
     std::vector<SubsetAllocResult> results(subsets.size());
-    ThreadPool::global().parallelFor(
+    ectx.pool().parallelFor(
         subsets.size(), [&](std::size_t s) {
             SubsetAllocResult &r = results[s];
             Matrix<Time> local(bounds.messages.size(),
@@ -342,8 +346,8 @@ allocateMessageIntervals(const TimeBounds &bounds,
                 method == AllocationMethod::Lp
                     ? allocateSubsetLp(bounds, intervals, pa,
                                        subsets[s], guardTime, topo,
-                                       basisCache, local, r.peakLoad,
-                                       r.status, r.error)
+                                       basisCache, ectx, local,
+                                       r.peakLoad, r.status, r.error)
                     : allocateSubsetGreedy(bounds, intervals, pa,
                                            subsets[s], guardTime,
                                            topo, local, r.peakLoad,

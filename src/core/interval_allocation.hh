@@ -30,6 +30,10 @@
 
 namespace srsim {
 
+namespace engine {
+class EngineContext;
+}
+
 namespace lp {
 class BasisCache;
 }
@@ -85,6 +89,8 @@ enum class AllocationMethod { Lp, Greedy };
  *        basis back), so re-solves of unchanged-structure subsets
  *        resume in a handful of pivots. nullptr keeps every solve
  *        cold.
+ * @param ctx engine context supplying the thread pool, solver kind,
+ *        and metrics registry; nullptr uses the process default.
  */
 IntervalAllocation
 allocateMessageIntervals(const TimeBounds &bounds,
@@ -96,7 +102,8 @@ allocateMessageIntervals(const TimeBounds &bounds,
                          Time guardTime = 0.0,
                          Time packetTime = 0.0,
                          const Topology *topo = nullptr,
-                         lp::BasisCache *basisCache = nullptr);
+                         lp::BasisCache *basisCache = nullptr,
+                         const engine::EngineContext *ctx = nullptr);
 
 } // namespace srsim
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "engine/context.hh"
 #include "solver/lp.hh"
 #include "solver/revised.hh"
 #include "util/logging.hh"
@@ -161,6 +162,7 @@ scheduleLp(const IntervalWork &work, const PathAssignment &pa,
            const TimeWindow &iv, std::size_t maxSets, Time guard,
            Time packet, bool exact_mip, lp::BasisCache *basisCache,
            const std::string &cacheKey,
+           const engine::EngineContext &ectx,
            std::vector<std::vector<TimeWindow>> &segments)
 {
     SlotSchedule res;
@@ -215,7 +217,7 @@ scheduleLp(const IntervalWork &work, const PathAssignment &pa,
     // Warm-start the continuous covering LP from this work item's
     // last optimal basis (keyed with the structure signature, so
     // each structural variant keeps its own entry).
-    lp::SolveOptions sopts;
+    lp::SolveOptions sopts = ectx.solveOptions();
     lp::Basis warmBasis;
     std::string key;
     std::uint64_t sig = 0;
@@ -226,8 +228,10 @@ scheduleLp(const IntervalWork &work, const PathAssignment &pa,
             sopts.warmStart = &warmBasis;
     }
 
+    lp::MipOptions mopts;
+    mopts.lp = ectx.solveOptions();
     lp::Solution sol =
-        mip ? lp::solveMip(prob) : lp::solve(prob, sopts);
+        mip ? lp::solveMip(prob, mopts) : lp::solve(prob, sopts);
     if (!mip && basisCache != nullptr && sol.feasible() &&
         !sol.basis.empty())
         basisCache->store(key, sig, sol.basis);
@@ -238,7 +242,7 @@ scheduleLp(const IntervalWork &work, const PathAssignment &pa,
     } else if (mip && !sol.feasible()) {
         // Fall back to the rounded relaxation.
         lp::Problem relax = prob;
-        sol = lp::solve(relax);
+        sol = lp::solve(relax, ectx.solveOptions());
     }
     if (!sol.feasible() &&
         sol.status != lp::Status::IterationLimit) {
@@ -412,7 +416,8 @@ scheduleIntervals(const TimeBounds &bounds,
         std::vector<std::vector<TimeWindow>> segments;
     };
     std::vector<ItemResult> results(items.size());
-    ThreadPool::global().parallelFor(
+    const engine::EngineContext &ectx = engine::resolve(opts.ctx);
+    ectx.pool().parallelFor(
         items.size(), [&](std::size_t i) {
             const Item &it = items[i];
             ItemResult &r = results[i];
@@ -427,7 +432,7 @@ scheduleIntervals(const TimeBounds &bounds,
                                     opts.maxFeasibleSets,
                                     opts.guardTime, opts.packetTime,
                                     opts.exactPacketMip,
-                                    opts.basisCache, key,
+                                    opts.basisCache, key, ectx,
                                     r.segments);
             } else {
                 r.slot.ok = true;

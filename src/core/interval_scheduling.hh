@@ -111,6 +111,12 @@ struct IntervalSchedulingOptions
      * branch-and-bound nodes instead. nullptr keeps solves cold.
      */
     lp::BasisCache *basisCache = nullptr;
+    /**
+     * Engine context supplying the thread pool, solver kind, and
+     * metrics registry for the per-interval covering solves.
+     * nullptr uses the process default context.
+     */
+    const engine::EngineContext *ctx = nullptr;
 };
 
 /**

@@ -5,6 +5,7 @@
 #include <set>
 #include <string>
 
+#include "engine/context.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
 #include "util/thread_pool.hh"
@@ -321,14 +322,14 @@ assignPaths(const TaskFlowGraph &g, const Topology &topo,
     // Outer loop of Fig. 4, restructured for parallelism: restart
     // walks are *independent* (walk r draws its random start from
     // the RNG stream deriveSeed(opts.seed, r)), so they run
-    // concurrently on the global pool and the result is
+    // concurrently on the context's pool and the result is
     // bit-identical to the serial order for every thread count. The
     // reduction is a fixed-order scan: lowest peak U wins, ties go
     // to the lowest restart index.
     const std::size_t walks =
         static_cast<std::size_t>(opts.maxRestarts) + 1;
     std::vector<WalkResult> results(walks);
-    ThreadPool::global().parallelFor(
+    engine::resolve(opts.ctx).pool().parallelFor(
         walks, [&](std::size_t r) {
             results[r] =
                 improveWalk(candidates, bounds, intervals, topo,

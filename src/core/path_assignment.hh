@@ -122,6 +122,10 @@ class UtilizationAnalyzer
     mutable std::vector<LinkId> scratchTouched_;
 };
 
+namespace engine {
+class EngineContext;
+}
+
 /** Knobs of the AssignPaths heuristic. */
 struct AssignPathsOptions
 {
@@ -130,7 +134,7 @@ struct AssignPathsOptions
     /**
      * Random restarts beyond the first walk. The maxRestarts + 1
      * improvement walks are independent (walk r seeds its RNG from
-     * deriveSeed(seed, r)) and run concurrently on the global
+     * deriveSeed(seed, r)) and run concurrently on the context's
      * ThreadPool; the best result (lowest peak U, ties to the
      * lowest restart index) wins, so the outcome is identical for
      * every thread count including the serial pool.
@@ -139,6 +143,13 @@ struct AssignPathsOptions
     /** Safety bound on reroutes within one improvement sweep. */
     int maxInnerIterations = 2000;
     std::uint64_t seed = 12345;
+    /**
+     * Engine context supplying the thread pool the restart walks
+     * run on. nullptr uses the process default context. The walk
+     * outcome is thread-count independent, so the choice of pool
+     * never changes the assignment.
+     */
+    const engine::EngineContext *ctx = nullptr;
 };
 
 /** Outcome of assignPaths(). */

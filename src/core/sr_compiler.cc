@@ -3,6 +3,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "engine/context.hh"
 #include "metrics/metrics.hh"
 #include "trace/trace.hh"
 #include "util/logging.hh"
@@ -65,9 +66,12 @@ attemptCompile(const TaskFlowGraph &g, const Topology &topo,
                SrCompileResult &res)
 {
     const IntervalSet &ivs = *res.intervals;
+    const engine::EngineContext &ectx = engine::resolve(cfg.ctx);
+    trace::Tracer &tracer = ectx.tracer();
+    metrics::Registry &reg = ectx.metricsRegistry();
 
     if (cfg.useAssignPaths) {
-        trace::ScopedPhase phase("assign_paths");
+        trace::ScopedPhase phase("assign_paths", tracer, reg);
         AssignPathsResult ap = assignPaths(g, topo, alloc,
                                            res.bounds, ivs,
                                            assign_opts);
@@ -87,7 +91,7 @@ attemptCompile(const TaskFlowGraph &g, const Topology &topo,
         res.assignRestarts = ap.restarts;
         res.assignReroutes = ap.reroutes;
     } else {
-        trace::ScopedPhase phase("lsd_to_msd");
+        trace::ScopedPhase phase("lsd_to_msd", tracer, reg);
         res.paths = lsdToMsdAssignment(g, topo, alloc, res.bounds);
         for (std::size_t i = 0; i < res.paths.paths.size(); ++i) {
             if (res.paths.paths[i].empty()) {
@@ -114,17 +118,17 @@ attemptCompile(const TaskFlowGraph &g, const Topology &topo,
 
     // Sec. 5.2: maximal subsets, then message-interval allocation.
     const auto subsets = [&] {
-        trace::ScopedPhase phase("subsets");
+        trace::ScopedPhase phase("subsets", tracer, reg);
         return computeMaximalSubsets(res.bounds, ivs, res.paths);
     }();
     res.numSubsets = subsets.size();
 
     {
-        trace::ScopedPhase phase("interval_allocation");
+        trace::ScopedPhase phase("interval_allocation", tracer, reg);
         res.allocation = allocateMessageIntervals(
             res.bounds, ivs, res.paths, subsets, cfg.allocMethod,
             cfg.scheduling.guardTime, cfg.scheduling.packetTime,
-            &topo);
+            &topo, nullptr, cfg.ctx);
     }
     if (!res.allocation.feasible) {
         std::ostringstream oss;
@@ -143,7 +147,7 @@ attemptCompile(const TaskFlowGraph &g, const Topology &topo,
 
     // Sec. 5.3: interval scheduling.
     {
-        trace::ScopedPhase phase("interval_scheduling");
+        trace::ScopedPhase phase("interval_scheduling", tracer, reg);
         res.schedule = scheduleIntervals(res.bounds, ivs, res.paths,
                                          subsets, res.allocation,
                                          cfg.scheduling);
@@ -182,6 +186,9 @@ compileScheduledRouting(const TaskFlowGraph &g, const Topology &topo,
                         const SrCompilerConfig &cfg)
 {
     SrCompileResult res;
+    const engine::EngineContext &ectx = engine::resolve(cfg.ctx);
+    trace::Tracer &tracer = ectx.tracer();
+    metrics::Registry &mreg = ectx.metricsRegistry();
 
     // Input validation up front: a compile must degrade into a
     // structured InvalidInput result, never abort the process, no
@@ -227,7 +234,7 @@ compileScheduledRouting(const TaskFlowGraph &g, const Topology &topo,
     // their tau_c window (the tau_m <= tau_c premise); surface that
     // as a structured InvalidInput instead of aborting.
     try {
-        trace::ScopedPhase phase("time_bounds");
+        trace::ScopedPhase phase("time_bounds", tracer, mreg);
         res.bounds = computeTimeBounds(g, alloc, tm, cfg.inputPeriod);
     } catch (const FatalError &e) {
         fail(res, SrFailureStage::InvalidInput, e.what());
@@ -246,6 +253,12 @@ compileScheduledRouting(const TaskFlowGraph &g, const Topology &topo,
     // insist that message times are whole packets (set
     // TimingModel::packetBytes and the rounding is automatic).
     SrCompilerConfig eff = cfg;
+    // Thread the compile's context into the downstream stage
+    // options unless the caller pinned their own.
+    if (eff.scheduling.ctx == nullptr)
+        eff.scheduling.ctx = cfg.ctx;
+    if (eff.assign.ctx == nullptr)
+        eff.assign.ctx = cfg.ctx;
     if (eff.scheduling.packetTime <= 0.0 && tm.packetBytes > 0.0)
         eff.scheduling.packetTime = tm.packetTime();
     if (eff.scheduling.packetTime > 0.0) {
@@ -266,7 +279,7 @@ compileScheduledRouting(const TaskFlowGraph &g, const Topology &topo,
 
     // Sec. 5.1: interval decomposition and activity matrix.
     {
-        trace::ScopedPhase phase("intervals");
+        trace::ScopedPhase phase("intervals", tracer, mreg);
         res.intervals.emplace(res.bounds);
     }
 
@@ -276,7 +289,7 @@ compileScheduledRouting(const TaskFlowGraph &g, const Topology &topo,
     // region of the path space.
     bool ok = false;
     for (int round = 0; round <= cfg.feedbackRounds; ++round) {
-        AssignPathsOptions opts = cfg.assign;
+        AssignPathsOptions opts = eff.assign;
         opts.seed = cfg.assign.seed +
                     static_cast<std::uint64_t>(round) * 7919;
         ok = attemptCompile(g, topo, alloc, eff, opts, res);
@@ -289,19 +302,17 @@ compileScheduledRouting(const TaskFlowGraph &g, const Topology &topo,
             break;
     }
     if (SRSIM_METRICS_ENABLED()) {
-        auto &reg = metrics::Registry::global();
-        reg.counter("sr.compiles").add();
-        reg.counter("sr.assign_restarts")
+        mreg.counter("sr.compiles").add();
+        mreg.counter("sr.assign_restarts")
             .add(static_cast<std::uint64_t>(res.assignRestarts));
-        reg.counter("sr.assign_reroutes")
+        mreg.counter("sr.assign_reroutes")
             .add(static_cast<std::uint64_t>(res.assignReroutes));
-        reg.counter("sr.feedback_rounds")
+        mreg.counter("sr.feedback_rounds")
             .add(static_cast<std::uint64_t>(res.feedbackRoundsUsed));
     }
     if (!ok) {
         if (SRSIM_METRICS_ENABLED())
-            metrics::Registry::global()
-                .counter(std::string("sr.failures.") +
+            mreg.counter(std::string("sr.failures.") +
                          srFailureStageName(res.stage))
                 .add();
         return res;
@@ -313,7 +324,7 @@ compileScheduledRouting(const TaskFlowGraph &g, const Topology &topo,
     res.omega.paths = res.paths;
 
     if (cfg.verify) {
-        trace::ScopedPhase phase("verify");
+        trace::ScopedPhase phase("verify", tracer, mreg);
         res.verification = verifySchedule(g, topo, alloc, res.bounds,
                                           res.omega);
         if (!res.verification.ok) {
@@ -322,9 +333,7 @@ compileScheduledRouting(const TaskFlowGraph &g, const Topology &topo,
                      ? "verifier rejected schedule"
                      : res.verification.violations.front());
             if (SRSIM_METRICS_ENABLED())
-                metrics::Registry::global()
-                    .counter("sr.failures.verification")
-                    .add();
+                mreg.counter("sr.failures.verification").add();
             return res;
         }
     }

@@ -63,6 +63,15 @@ struct SrCompilerConfig
      * pipeline.
      */
     int feedbackRounds = 0;
+    /**
+     * Engine context the compile runs under: supplies the tracer and
+     * metrics registry for the per-stage phases, the thread pool for
+     * the parallel stages, and the solver configuration for every
+     * LP. Propagated into the allocation and scheduling stages
+     * unless those options name their own context. nullptr uses the
+     * process default context.
+     */
+    const engine::EngineContext *ctx = nullptr;
 };
 
 /** Everything the compiler produced (partial on failure). */

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "engine/context.hh"
 #include "metrics/metrics.hh"
 #include "trace/trace.hh"
 #include "util/logging.hh"
@@ -32,9 +33,12 @@ SrExecutionResult::latencies(int warmup) const
 SrExecutionResult
 executeSchedule(const TaskFlowGraph &g, const TaskAllocation &alloc,
                 const TimingModel &tm, const TimeBounds &bounds,
-                const GlobalSchedule &omega, int invocations)
+                const GlobalSchedule &omega, int invocations,
+                const engine::EngineContext *ctx)
 {
     SRSIM_ASSERT(invocations > 0, "need at least one invocation");
+    const engine::EngineContext &ectx = engine::resolve(ctx);
+    trace::Tracer &tracer = ectx.tracer();
     const Time period = omega.period;
 
     // Frame-relative first-transmission offset and delivery offset
@@ -71,7 +75,7 @@ executeSchedule(const TaskFlowGraph &g, const TaskAllocation &alloc,
     const bool tracing = SRSIM_TRACE_ENABLED();
     metrics::Counter *premiseCtr =
         SRSIM_METRICS_ENABLED()
-            ? &metrics::Registry::global().counter(
+            ? &ectx.metricsRegistry().counter(
                   "sr_exec.premise_violations")
             : nullptr;
 
@@ -124,8 +128,9 @@ executeSchedule(const TaskFlowGraph &g, const TaskAllocation &alloc,
             start[ti] = s;
             finish[ti] = s + tm.taskTime(g, t);
             if (tracing)
-                trace::taskSpan(alloc.nodeOf(t), g.task(t).name, j,
-                                start[ti], finish[ti] - start[ti]);
+                trace::taskSpan(tracer, alloc.nodeOf(t),
+                                g.task(t).name, j, start[ti],
+                                finish[ti] - start[ti]);
         }
 
         // The analytic model gives every task its own AP: it never
@@ -161,14 +166,14 @@ executeSchedule(const TaskFlowGraph &g, const TaskAllocation &alloc,
         res.completions.push_back(complete);
         prev_finish = finish;
         if (tracing)
-            trace::invocationComplete(j, complete);
+            trace::invocationComplete(tracer, j, complete);
     }
     if (res.premiseViolated) {
         if (premiseCtr)
             premiseCtr->add(res.notes.size());
         if (tracing)
             for (const std::string &n : res.notes)
-                trace::violation(n, 0.0);
+                trace::violation(tracer, n, 0.0);
     }
     return res;
 }

@@ -33,6 +33,10 @@
 
 namespace srsim {
 
+namespace engine {
+class EngineContext;
+}
+
 /** Result of executing a schedule for several invocations. */
 struct SrExecutionResult
 {
@@ -59,11 +63,16 @@ struct SrExecutionResult
 
 /**
  * Execute Omega for `invocations` periods.
+ *
+ * @param ctx engine context whose tracer receives the task spans and
+ *        whose registry counts premise violations; nullptr uses the
+ *        process default context.
  */
 SrExecutionResult
 executeSchedule(const TaskFlowGraph &g, const TaskAllocation &alloc,
                 const TimingModel &tm, const TimeBounds &bounds,
-                const GlobalSchedule &omega, int invocations);
+                const GlobalSchedule &omega, int invocations,
+                const engine::EngineContext *ctx = nullptr);
 
 } // namespace srsim
 

@@ -6,6 +6,7 @@
 #include <map>
 #include <sstream>
 
+#include "engine/context.hh"
 #include "metrics/metrics.hh"
 #include "sim/event_queue.hh"
 #include "trace/trace.hh"
@@ -59,6 +60,8 @@ struct CpSimState
     const TimeBounds &bounds;
     const GlobalSchedule &omega;
     const CpSimConfig &cfg;
+    const engine::EngineContext &ectx;
+    trace::Tracer &tracer;
 
     EventQueue eq;
     CpSimResult result;
@@ -117,7 +120,8 @@ struct CpSimState
                const TimeBounds &bounds_,
                const GlobalSchedule &omega_, const CpSimConfig &c)
         : g(g_), topo(topo_), alloc(alloc_), tm(tm_),
-          bounds(bounds_), omega(omega_), cfg(c)
+          bounds(bounds_), omega(omega_), cfg(c),
+          ectx(engine::resolve(c.ctx)), tracer(ectx.tracer())
     {
         const std::size_t nmi =
             bounds.messages.size() *
@@ -157,7 +161,7 @@ struct CpSimState
         lostInv.assign(
             static_cast<std::size_t>(cfg.invocations), 0);
         if (metering) {
-            auto &reg = metrics::Registry::global();
+            auto &reg = ectx.metricsRegistry();
             violationCtr = &reg.counter("cpsim.violations");
             commandCtr = &reg.counter("cpsim.commands_executed");
             timeline = &reg.timeline("cpsim.links");
@@ -196,7 +200,7 @@ struct CpSimState
         if (violationCtr)
             violationCtr->add();
         if (tracing)
-            trace::violation(why, eq.now());
+            trace::violation(tracer, why, eq.now());
         auto [it, fresh] = violationIdx.emplace(
             key, result.violations.size());
         if (fresh) {
@@ -235,7 +239,7 @@ struct CpSimState
     {
         ++result.droppedSegments;
         if (tracing)
-            trace::faultEvent(note, eq.now());
+            trace::faultEvent(tracer, note, eq.now());
         if (lostInv[static_cast<std::size_t>(j)])
             return;
         lostInv[static_cast<std::size_t>(j)] = 1;
@@ -329,6 +333,7 @@ struct CpSimState
             eq.schedule(at, [this, l, at] {
                 if (tracing)
                     trace::faultEvent(
+                        tracer,
                         "link " + std::to_string(l) + " failed",
                         at);
             });
@@ -344,7 +349,8 @@ struct CpSimState
                     result.faultNotes.push_back(oss.str());
                     eq.schedule(t, [this, note = oss.str()] {
                         if (tracing)
-                            trace::faultEvent(note, eq.now());
+                            trace::faultEvent(tracer, note,
+                                              eq.now());
                     });
                     break;
                 }
@@ -373,7 +379,8 @@ struct CpSimState
         const NodeId node = alloc.nodeOf(t);
         aps[static_cast<std::size_t>(node)].busy = true;
         if (tracing)
-            trace::taskBegin(node, g.task(t).name, j, eq.now());
+            trace::taskBegin(tracer, node, g.task(t).name, j,
+                             eq.now());
         eq.scheduleAfter(tm.taskTime(g, t),
                          [this, t, j] { finishTask(t, j); });
     }
@@ -385,7 +392,7 @@ struct CpSimState
             return;
         taskFinish[tiIdx(t, j)] = eq.now();
         if (tracing)
-            trace::taskEnd(alloc.nodeOf(t), j, eq.now());
+            trace::taskEnd(tracer, alloc.nodeOf(t), j, eq.now());
         if (isOutputTask[static_cast<std::size_t>(t)])
             outputDone(j);
 
@@ -429,7 +436,7 @@ struct CpSimState
         if (--outputsRemaining[ji] == 0) {
             result.completions[ji] = outputFinish[ji];
             if (tracing)
-                trace::invocationComplete(j, eq.now());
+                trace::invocationComplete(tracer, j, eq.now());
         }
     }
 
@@ -456,20 +463,20 @@ struct CpSimState
             return;
         }
         if (tracing) {
-            trace::msgWindowSpan(m.id, m.name, ev.invocation,
-                                 ev.start, dur);
+            trace::msgWindowSpan(tracer, m.id, m.name,
+                                 ev.invocation, ev.start, dur);
             // One crossbar command per CP on the path (the node
             // switching schedules omega_i of Sec. 4.1).
             for (NodeId n : p.nodes)
-                trace::xbarExecute(n, m.name, m.id, ev.invocation,
-                                   ev.start, dur);
+                trace::xbarExecute(tracer, n, m.name, m.id,
+                                   ev.invocation, ev.start, dur);
         }
         if (commandCtr)
             commandCtr->add(p.nodes.size());
         for (LinkId l : p.links) {
             if (tracing)
-                trace::linkOccupy(l, m.name, m.id, ev.invocation,
-                                  ev.start, dur);
+                trace::linkOccupy(tracer, l, m.name, m.id,
+                                  ev.invocation, ev.start, dur);
             if (timeline)
                 timeline->occupy(l, ev.start, ev.end);
             LinkClaim &c = linkClaims[static_cast<std::size_t>(l)];

@@ -46,6 +46,10 @@
 
 namespace srsim {
 
+namespace engine {
+class EngineContext;
+}
+
 /** Run parameters for the CP-level simulation. */
 struct CpSimConfig
 {
@@ -79,6 +83,12 @@ struct CpSimConfig
     const GlobalSchedule *degradedOmega = nullptr;
     /** Absolute instant the degraded schedule takes effect. */
     Time repairAt = 0.0;
+    /**
+     * Engine context whose tracer receives the simulation events
+     * and whose registry counts cpsim.* metrics. nullptr uses the
+     * process default context.
+     */
+    const engine::EngineContext *ctx = nullptr;
 };
 
 /** Outcome of a CP-level run. */

@@ -4,6 +4,7 @@
 
 #include "core/intervals.hh"
 #include "core/sr_executor.hh"
+#include "engine/context.hh"
 #include "util/json.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
@@ -39,7 +40,8 @@ runUtilizationExperiment(const TaskFlowGraph &g, const Topology &topo,
     // into its own slot, so the (ascending-load) series is identical
     // for every thread count.
     std::vector<UtilizationPoint> out(periods.size());
-    ThreadPool::global().parallelFor(
+    const engine::EngineContext &ectx = engine::resolve(cfg.ctx);
+    ectx.pool().parallelFor(
         periods.size(), [&](std::size_t i) {
             const Time period = periods[i];
             UtilizationPoint pt;
@@ -51,13 +53,15 @@ runUtilizationExperiment(const TaskFlowGraph &g, const Topology &topo,
             const IntervalSet ivs(bounds);
             UtilizationAnalyzer ua(bounds, ivs, topo);
 
+            AssignPathsOptions aopts = cfg.sr.assign;
+            if (aopts.ctx == nullptr)
+                aopts.ctx = &ectx;
             pt.uLsdToMsd =
                 ua.analyze(
                       lsdToMsdAssignment(g, topo, alloc, bounds))
                     .peak;
             pt.uAssignPaths =
-                assignPaths(g, topo, alloc, bounds, ivs,
-                            cfg.sr.assign)
+                assignPaths(g, topo, alloc, bounds, ivs, aopts)
                     .report.peak;
             out[i] = pt;
         });
@@ -81,7 +85,8 @@ runThroughputExperiment(const TaskFlowGraph &g, const Topology &topo,
     // points (and each SR compile parallelizes internally — the
     // pool's parallelFor nests without deadlock).
     std::vector<LoadPoint> out(periods.size());
-    ThreadPool::global().parallelFor(
+    const engine::EngineContext &ectx = engine::resolve(cfg.ctx);
+    ectx.pool().parallelFor(
         periods.size(), [&](std::size_t idx) {
         const Time period = periods[idx];
         LoadPoint pt;
@@ -91,6 +96,7 @@ runThroughputExperiment(const TaskFlowGraph &g, const Topology &topo,
         // --- Wormhole routing: simulate.
         WormholeSimulator wsim(g, topo, alloc, tm);
         WormholeConfig wcfg;
+        wcfg.ctx = &ectx;
         wcfg.inputPeriod = period;
         wcfg.invocations = cfg.invocations;
         wcfg.warmup = cfg.warmup;
@@ -112,6 +118,8 @@ runThroughputExperiment(const TaskFlowGraph &g, const Topology &topo,
 
         // --- Scheduled routing: compile (and execute if feasible).
         SrCompilerConfig scfg = cfg.sr;
+        if (scfg.ctx == nullptr)
+            scfg.ctx = &ectx;
         scfg.inputPeriod = period;
         const SrCompileResult sr = compileScheduledRouting(
             g, topo, alloc, tm, scfg);
@@ -121,7 +129,7 @@ runThroughputExperiment(const TaskFlowGraph &g, const Topology &topo,
         if (sr.feasible) {
             const SrExecutionResult ex = executeSchedule(
                 g, alloc, tm, sr.bounds, sr.omega,
-                cfg.invocations);
+                cfg.invocations, &ectx);
             SRSIM_ASSERT(ex.consistent(cfg.warmup),
                          "verified schedule must give constant "
                          "throughput");

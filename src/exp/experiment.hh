@@ -33,6 +33,10 @@
 
 namespace srsim {
 
+namespace engine {
+class EngineContext;
+}
+
 /** Shared experiment knobs. */
 struct ExperimentConfig
 {
@@ -42,6 +46,12 @@ struct ExperimentConfig
     int invocations = 60;
     int warmup = 10;
     SrCompilerConfig sr;
+    /**
+     * Engine context the sweep runs under (thread pool, tracer,
+     * metrics, solver kind); load points also compile and simulate
+     * under it. nullptr uses the process default context.
+     */
+    const engine::EngineContext *ctx = nullptr;
 };
 
 /** One load point of a Fig. 7-10 style experiment. */

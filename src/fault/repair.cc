@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "core/incremental.hh"
+#include "engine/context.hh"
 #include "metrics/metrics.hh"
 #include "trace/trace.hh"
 #include "util/logging.hh"
@@ -86,10 +87,11 @@ reducedTfg(const TaskFlowGraph &g, const std::vector<MessageId> &drop,
 }
 
 void
-bumpCounter(const char *name, std::uint64_t n = 1)
+bumpCounter(metrics::Registry &reg, const char *name,
+            std::uint64_t n = 1)
 {
     if (SRSIM_METRICS_ENABLED())
-        metrics::Registry::global().counter(name).add(n);
+        reg.counter(name).add(n);
 }
 
 /**
@@ -103,8 +105,11 @@ tryIncrementalRepair(const TaskFlowGraph &g, const Topology &topo,
                      const TimingModel &tm,
                      const SrCompilerConfig &cfg,
                      const SrCompileResult &healthy,
-                     lp::BasisCache *basisCache, RepairResult &res)
+                     lp::BasisCache *basisCache,
+                     const engine::EngineContext *ctx,
+                     RepairResult &res)
 {
+    const engine::EngineContext &ectx = engine::resolve(ctx);
     const TimeBounds &bounds = healthy.bounds;
     if (!healthy.intervals)
         return false; // degenerate: no network messages
@@ -121,7 +126,8 @@ tryIncrementalRepair(const TaskFlowGraph &g, const Topology &topo,
     PathAssignment pa = healthy.paths;
 
     if (!dirty.empty()) {
-        trace::ScopedPhase phase("repair_reroute");
+        trace::ScopedPhase phase("repair_reroute", ectx.tracer(),
+                                 ectx.metricsRegistry());
         // Greedy deterministic reroute: every dirty message first
         // takes its first surviving minimal path, then (in index
         // order) keeps the candidate minimizing the peak utilization
@@ -149,6 +155,7 @@ tryIncrementalRepair(const TaskFlowGraph &g, const Topology &topo,
     iopts.topo = &topo;
     iopts.tracePrefix = "repair";
     iopts.basisCache = basisCache;
+    iopts.ctx = ctx;
     const IncrementalSolveResult inc = resolveDirtySubsets(
         bounds, ivs, pa, dirtyFlags, healthy.omega.segments, iopts);
 
@@ -176,10 +183,11 @@ tryIncrementalRepair(const TaskFlowGraph &g, const Topology &topo,
     for (std::size_t i : dirty)
         res.fates[static_cast<std::size_t>(
             bounds.messages[i].msg)] = MessageFate::Rerouted;
-    bumpCounter("repair.incremental");
-    bumpCounter("repair.subsets_reused",
+    metrics::Registry &mreg = ectx.metricsRegistry();
+    bumpCounter(mreg, "repair.incremental");
+    bumpCounter(mreg, "repair.subsets_reused",
                 static_cast<std::uint64_t>(res.subsetsReused));
-    bumpCounter("repair.subsets_resolved",
+    bumpCounter(mreg, "repair.subsets_resolved",
                 static_cast<std::uint64_t>(res.subsetsResolved));
     return true;
 }
@@ -193,7 +201,11 @@ repairSchedule(const TaskFlowGraph &g, const Topology &topo,
                const SrCompileResult &healthy,
                const RepairOptions &opts)
 {
-    trace::ScopedPhase phase("fault_repair");
+    // The repair's context: its own when set, else the compile's.
+    const engine::EngineContext &ectx = engine::resolve(
+        opts.ctx != nullptr ? opts.ctx : cfg.ctx);
+    metrics::Registry &mreg = ectx.metricsRegistry();
+    trace::ScopedPhase phase("fault_repair", ectx.tracer(), mreg);
     RepairResult res;
     res.fates.assign(static_cast<std::size_t>(g.numMessages()),
                      MessageFate::Survived);
@@ -218,7 +230,7 @@ repairSchedule(const TaskFlowGraph &g, const Topology &topo,
 
     if (res.shedMessages.empty() && opts.allowIncremental &&
         tryIncrementalRepair(g, topo, alloc, tm, cfg, healthy,
-                             opts.basisCache, res)) {
+                             opts.basisCache, &ectx, res)) {
         res.omega.faultSpec = opts.faultSpec;
         return res;
     }
@@ -226,7 +238,7 @@ repairSchedule(const TaskFlowGraph &g, const Topology &topo,
     // Full recompilation on the surviving fabric — on a reduced TFG
     // when messages had to be shed — at the original period first,
     // then at stretched periods.
-    bumpCounter("repair.full_recompiles");
+    bumpCounter(mreg, "repair.full_recompiles");
     TaskFlowGraph reduced;
     const bool shedding = !res.shedMessages.empty();
     if (shedding)
@@ -242,6 +254,7 @@ repairSchedule(const TaskFlowGraph &g, const Topology &topo,
         SrCompilerConfig cfg2 = cfg;
         cfg2.inputPeriod = healthy.omega.period * f;
         cfg2.verify = true;
+        cfg2.ctx = &ectx;
         const SrCompileResult attempt = compileScheduledRouting(
             g2, topo, alloc, tm, cfg2);
         if (!attempt.feasible) {
@@ -299,13 +312,13 @@ repairSchedule(const TaskFlowGraph &g, const Topology &topo,
                 if (res.fates[i] == MessageFate::Survived)
                     res.fates[i] = MessageFate::Degraded;
         }
-        bumpCounter("repair.subsets_resolved",
+        bumpCounter(mreg, "repair.subsets_resolved",
                     static_cast<std::uint64_t>(
                         res.subsetsResolved));
         return res;
     }
 
-    bumpCounter("repair.failures");
+    bumpCounter(mreg, "repair.failures");
     return res;
 }
 

@@ -70,6 +70,12 @@ struct RepairOptions
      * handful of pivots. nullptr keeps every solve cold.
      */
     lp::BasisCache *basisCache = nullptr;
+    /**
+     * Engine context the repair runs under (tracer, metrics,
+     * thread pool, solver kind). Falls back to the compile config's
+     * context, then the process default, when nullptr.
+     */
+    const engine::EngineContext *ctx = nullptr;
 };
 
 /** Outcome of a repair. */

@@ -26,6 +26,8 @@ void
 Histogram::add(double v)
 {
     SRSIM_ASSERT(!std::isnan(v), "NaN histogram sample");
+    if (parent_ != nullptr)
+        parent_->add(v);
     const auto it =
         std::lower_bound(bounds_.begin(), bounds_.end(), v);
     const std::size_t i =
@@ -143,6 +145,8 @@ LinkTimeline::occupy(std::int32_t link, double start, double end)
     SRSIM_ASSERT(link >= 0, "negative link id");
     if (end <= start)
         return;
+    if (parent_ != nullptr)
+        parent_->occupy(link, start, end);
     std::lock_guard<std::mutex> lock(mu_);
     const std::size_t idx = static_cast<std::size_t>(link);
     if (idx >= busy_.size())
@@ -199,23 +203,34 @@ Registry::setEnabled(bool on)
     enabled_.store(on, std::memory_order_relaxed);
 }
 
+// Child lookups resolve the parent metric OUTSIDE the child lock:
+// lock order is strictly child -> parent (a parent never reaches
+// into a child), so nested acquisition cannot deadlock.
 Counter &
 Registry::counter(const std::string &name)
 {
+    Counter *up =
+        parent_ != nullptr ? &parent_->counter(name) : nullptr;
     std::lock_guard<std::mutex> lock(mu_);
     auto &slot = counters_[name];
-    if (!slot)
+    if (!slot) {
         slot = std::make_unique<Counter>();
+        slot->parent_ = up;
+    }
     return *slot;
 }
 
 Gauge &
 Registry::gauge(const std::string &name)
 {
+    Gauge *up =
+        parent_ != nullptr ? &parent_->gauge(name) : nullptr;
     std::lock_guard<std::mutex> lock(mu_);
     auto &slot = gauges_[name];
-    if (!slot)
+    if (!slot) {
         slot = std::make_unique<Gauge>();
+        slot->parent_ = up;
+    }
     return *slot;
 }
 
@@ -223,20 +238,29 @@ Histogram &
 Registry::histogram(const std::string &name,
                     std::vector<double> bounds)
 {
+    Histogram *up = parent_ != nullptr
+                        ? &parent_->histogram(name, bounds)
+                        : nullptr;
     std::lock_guard<std::mutex> lock(mu_);
     auto &slot = histograms_[name];
-    if (!slot)
+    if (!slot) {
         slot = std::make_unique<Histogram>(std::move(bounds));
+        slot->parent_ = up;
+    }
     return *slot;
 }
 
 LinkTimeline &
 Registry::timeline(const std::string &name)
 {
+    LinkTimeline *up =
+        parent_ != nullptr ? &parent_->timeline(name) : nullptr;
     std::lock_guard<std::mutex> lock(mu_);
     auto &slot = timelines_[name];
-    if (!slot)
+    if (!slot) {
         slot = std::make_unique<LinkTimeline>();
+        slot->parent_ = up;
+    }
     return *slot;
 }
 

@@ -33,7 +33,12 @@
 namespace srsim {
 namespace metrics {
 
-/** Monotonic event count. */
+/**
+ * Monotonic event count. A counter created by a child registry
+ * carries a pointer to the same-named counter of the parent and
+ * writes through, so parent totals equal the sum over children plus
+ * the parent's own direct bumps.
+ */
 class Counter
 {
   public:
@@ -41,6 +46,8 @@ class Counter
     add(std::uint64_t n = 1)
     {
         v_.fetch_add(n, std::memory_order_relaxed);
+        if (parent_ != nullptr)
+            parent_->add(n);
     }
 
     std::uint64_t
@@ -50,10 +57,12 @@ class Counter
     }
 
   private:
+    friend class Registry;
     std::atomic<std::uint64_t> v_{0};
+    Counter *parent_ = nullptr;
 };
 
-/** Last-written value. */
+/** Last-written value; child gauges write through to the parent. */
 class Gauge
 {
   public:
@@ -61,6 +70,8 @@ class Gauge
     set(double v)
     {
         v_.store(v, std::memory_order_relaxed);
+        if (parent_ != nullptr)
+            parent_->set(v);
     }
 
     double
@@ -70,7 +81,9 @@ class Gauge
     }
 
   private:
+    friend class Registry;
     std::atomic<double> v_{0.0};
+    Gauge *parent_ = nullptr;
 };
 
 /**
@@ -103,6 +116,7 @@ class Histogram
     static std::vector<double> timeBucketsUs();
 
   private:
+    friend class Registry;
     std::vector<double> bounds_;
     /** bounds_.size() + 1 buckets (last = overflow). */
     std::vector<std::atomic<std::uint64_t>> buckets_;
@@ -111,6 +125,7 @@ class Histogram
     std::atomic<double> min_{0.0};
     std::atomic<double> max_{0.0};
     mutable std::mutex extremaMu_;
+    Histogram *parent_ = nullptr;
 };
 
 /**
@@ -137,15 +152,30 @@ class LinkTimeline
     std::vector<double> utilization(double horizon = 0.0) const;
 
   private:
+    friend class Registry;
     mutable std::mutex mu_;
     std::vector<double> busy_;
     double horizon_ = 0.0;
+    LinkTimeline *parent_ = nullptr;
 };
 
-/** Process-wide named registry. */
+/**
+ * Named registry. The process-wide instance (global()) remains for
+ * the default engine context; per-tenant isolation constructs child
+ * registries parented to it. A child's metrics write through to the
+ * same-named parent metric, so aggregates stay exact while each
+ * child exposes only its own activity. A parent must outlive — and
+ * must not be clear()ed under — its live children.
+ */
 class Registry
 {
   public:
+    /** A standalone (parent == nullptr) or child registry. */
+    explicit Registry(Registry *parent = nullptr)
+        : parent_(parent)
+    {
+    }
+
     static Registry &global();
 
     static bool
@@ -177,10 +207,9 @@ class Registry
     void exportJson(std::ostream &os) const;
 
   private:
-    Registry() = default;
-
     static std::atomic<bool> enabled_;
 
+    Registry *parent_ = nullptr;
     mutable std::mutex mu_;
     std::map<std::string, std::unique_ptr<Counter>> counters_;
     std::map<std::string, std::unique_ptr<Gauge>> gauges_;

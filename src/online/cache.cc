@@ -3,6 +3,7 @@
 #include <iomanip>
 #include <sstream>
 
+#include "engine/context.hh"
 #include "metrics/metrics.hh"
 
 namespace srsim {
@@ -95,8 +96,12 @@ fnv1a64(const std::string &s)
     return h;
 }
 
-ScheduleCache::ScheduleCache(std::size_t capacity)
-    : capacity_(capacity == 0 ? 1 : capacity)
+ScheduleCache::ScheduleCache(std::size_t capacity,
+                             metrics::Registry *registry)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      registry_(registry != nullptr
+                    ? registry
+                    : &engine::resolve(nullptr).metricsRegistry())
 {
 }
 
@@ -121,8 +126,7 @@ void
 ScheduleCache::publishBytesGauge()
 {
     if (SRSIM_METRICS_ENABLED())
-        metrics::Registry::global()
-            .gauge("cache.bytes")
+        registry_->gauge("cache.bytes")
             .set(static_cast<double>(bytes_.load()));
 }
 
@@ -174,9 +178,7 @@ ScheduleCache::insert(const std::string &key, Entry entry)
         lru_.pop_back();
         evictions_.fetch_add(1);
         if (SRSIM_METRICS_ENABLED())
-            metrics::Registry::global()
-                .counter("cache.evictions")
-                .add(1);
+            registry_->counter("cache.evictions").add(1);
     }
     publishBytesGauge();
 }

@@ -48,6 +48,11 @@
 #include "topology/topology.hh"
 
 namespace srsim {
+
+namespace metrics {
+class Registry;
+}
+
 namespace online {
 
 /**
@@ -68,7 +73,15 @@ std::uint64_t fnv1a64(const std::string &s);
 class ScheduleCache
 {
   public:
-    explicit ScheduleCache(std::size_t capacity = 64);
+    /**
+     * @param registry registry the cache.bytes gauge and
+     *        cache.evictions counter land in; nullptr resolves the
+     *        process default registry at construction time. The
+     *        daemon's shared cross-session cache keeps the default
+     *        (its traffic is aggregate by nature).
+     */
+    explicit ScheduleCache(std::size_t capacity = 64,
+                           metrics::Registry *registry = nullptr);
 
     /** One cached, verifier-certified schedule. */
     struct Entry
@@ -123,6 +136,8 @@ class ScheduleCache
     using Node = std::pair<std::string, std::shared_ptr<const Entry>>;
 
     const std::size_t capacity_;
+    /** Destination of the cache.* metrics (never null). */
+    metrics::Registry *registry_;
     mutable std::mutex mu_;
     /** Most-recently-used at the front. */
     std::list<Node> lru_;

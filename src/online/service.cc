@@ -8,6 +8,7 @@
 
 #include "core/incremental.hh"
 #include "core/subsets.hh"
+#include "engine/context.hh"
 #include "solver/revised.hh"
 #include "core/verifier.hh"
 #include "fault/fault.hh"
@@ -52,10 +53,11 @@ rejectReasonName(RejectReason r)
 namespace {
 
 void
-bump(const char *name, std::uint64_t n = 1)
+bump(metrics::Registry &reg, const char *name,
+     std::uint64_t n = 1)
 {
     if (SRSIM_METRICS_ENABLED())
-        metrics::Registry::global().counter(name).add(n);
+        reg.counter(name).add(n);
 }
 
 Time
@@ -141,9 +143,13 @@ OnlineScheduler::OnlineScheduler(TaskFlowGraph g,
                  : std::make_shared<ScheduleCache>(
                        cfg_.cacheCapacity == 0
                            ? 1
-                           : cfg_.cacheCapacity)),
+                           : cfg_.cacheCapacity,
+                       &engine::resolve(cfg_.compiler.ctx)
+                            .metricsRegistry())),
       basisCache_(cfg_.warmStartBasis
-                      ? std::make_shared<lp::BasisCache>()
+                      ? std::make_shared<lp::BasisCache>(
+                            &engine::resolve(cfg_.compiler.ctx)
+                                 .metricsRegistry())
                       : nullptr)
 {
 }
@@ -172,23 +178,25 @@ OnlineScheduler::finish(RequestResult res, const char *what,
 {
     const double endUs = trace::Tracer::nowWallUs();
     res.latencyMs = (endUs - startUs) / 1000.0;
-    bump("online.requests");
+    const engine::EngineContext &ectx =
+        engine::resolve(cfg_.compiler.ctx);
+    metrics::Registry &reg = ectx.metricsRegistry();
+    bump(reg, "online.requests");
     if (res.accepted) {
-        bump("online.subsets_resolved",
+        bump(reg, "online.subsets_resolved",
              static_cast<std::uint64_t>(res.subsetsResolved));
-        bump("online.subsets_copied",
+        bump(reg, "online.subsets_copied",
              static_cast<std::uint64_t>(res.subsetsCopied));
         if (res.usedCache)
-            bump("online.cache_served");
+            bump(reg, "online.cache_served");
         if (res.usedIncremental)
-            bump("online.incremental");
+            bump(reg, "online.incremental");
     } else {
-        bump("online.rejected");
+        bump(reg, "online.rejected");
     }
     if (admission && SRSIM_METRICS_ENABLED())
-        metrics::Registry::global()
-            .histogram("online.admit_latency_us",
-                       metrics::Histogram::timeBucketsUs())
+        reg.histogram("online.admit_latency_us",
+                      metrics::Histogram::timeBucketsUs())
             .add(endUs - startUs);
     if (SRSIM_TRACE_ENABLED()) {
         std::ostringstream oss;
@@ -197,7 +205,7 @@ OnlineScheduler::finish(RequestResult res, const char *what,
                              : rejectReasonName(res.reason));
         if (!res.accepted && !res.detail.empty())
             oss << ": " << res.detail;
-        trace::onlineRequest(oss.str(), endUs);
+        trace::onlineRequest(ectx.tracer(), oss.str(), endUs);
     }
     return res;
 }
@@ -206,7 +214,10 @@ Time
 OnlineScheduler::probeStretchedPeriods(const TaskFlowGraph &g2,
                                        Time period)
 {
-    trace::ScopedPhase phase("online_stretch_probe");
+    const engine::EngineContext &ectx =
+        engine::resolve(cfg_.compiler.ctx);
+    trace::ScopedPhase phase("online_stretch_probe", ectx.tracer(),
+                             ectx.metricsRegistry());
     for (double f : cfg_.stretchFactors) {
         SrCompilerConfig ccfg = cfg_.compiler;
         ccfg.inputPeriod = period * f;
@@ -267,6 +278,9 @@ OnlineScheduler::solveWorkload(const TaskFlowGraph &g2, Time period,
     SolveOutcome out;
     RequestResult &res = out.res;
     res.period = period;
+    const engine::EngineContext &ectx =
+        engine::resolve(cfg_.compiler.ctx);
+    metrics::Registry &reg = ectx.metricsRegistry();
 
     // Time bounds and the interval decomposition are route-free
     // (Sec. 4 / Sec. 5.1): recomputing them for the new workload is
@@ -323,7 +337,7 @@ OnlineScheduler::solveWorkload(const TaskFlowGraph &g2, Time period,
     if (cfg_.cacheCapacity > 0) {
         key = canonicalWorkloadKey(g2, *topo_, alloc_, tm_, ccfg);
         if (const auto e = cache_->lookup(key)) {
-            bump("online.cache_hits");
+            bump(reg, "online.cache_hits");
             auto next = std::make_shared<PublishedState>();
             next->g = g2;
             next->bounds = std::move(bounds2);
@@ -350,7 +364,7 @@ OnlineScheduler::solveWorkload(const TaskFlowGraph &g2, Time period,
             out.next = std::move(next);
             return out;
         }
-        bump("online.cache_misses");
+        bump(reg, "online.cache_misses");
     }
 
     // Incremental path: keep every surviving message's route and
@@ -359,7 +373,9 @@ OnlineScheduler::solveWorkload(const TaskFlowGraph &g2, Time period,
     const std::shared_ptr<const PublishedState> prior = published();
     if (allowIncremental && prior &&
         period == prior->omega.period) {
-        trace::ScopedPhase phase("online_incremental");
+        trace::ScopedPhase phase("online_incremental",
+                                 ectx.tracer(),
+                                 ectx.metricsRegistry());
         IntervalSet ivs2(bounds2);
 
         std::unordered_map<std::string, std::size_t> oldIdx;
@@ -422,6 +438,7 @@ OnlineScheduler::solveWorkload(const TaskFlowGraph &g2, Time period,
             iopts.topo = topo_.get();
             iopts.tracePrefix = "online";
             iopts.basisCache = basisCache_.get();
+            iopts.ctx = cfg_.compiler.ctx;
             const IncrementalSolveResult inc = resolveDirtySubsets(
                 bounds2, ivs2, pa2, dirty, priorSegs, iopts);
             if (inc.feasible) {
@@ -468,8 +485,9 @@ OnlineScheduler::solveWorkload(const TaskFlowGraph &g2, Time period,
 
     // Full compile: the fallback and the source of truth for
     // rejection classification.
-    trace::ScopedPhase phase("online_full_compile");
-    bump("online.full_compiles");
+    trace::ScopedPhase phase("online_full_compile", ectx.tracer(),
+                             ectx.metricsRegistry());
+    bump(reg, "online.full_compiles");
     SrCompileResult comp =
         compileScheduledRouting(g2, *topo_, alloc_, tm_, ccfg);
     if (!comp.feasible) {
@@ -672,8 +690,10 @@ OnlineScheduler::admitBatch(const std::vector<AdmitSpec> &specs)
     if (out.ok) {
         publish(std::move(out.next), res.period);
         res.accepted = true;
-        bump("online.admitted");
-        bump("online.messages_admitted",
+        metrics::Registry &reg =
+            engine::resolve(cfg_.compiler.ctx).metricsRegistry();
+        bump(reg, "online.admitted");
+        bump(reg, "online.messages_admitted",
              static_cast<std::uint64_t>(specs.size()));
     }
     return finish(res, what, t0, true);
@@ -711,7 +731,8 @@ OnlineScheduler::remove(const std::string &msgName)
     if (out.ok) {
         publish(std::move(out.next), res.period);
         res.accepted = true;
-        bump("online.removed");
+        bump(engine::resolve(cfg_.compiler.ctx).metricsRegistry(),
+             "online.removed");
     }
     return finish(res, "remove", t0, false);
 }
@@ -741,7 +762,8 @@ OnlineScheduler::updatePeriod(Time period)
         publish(std::move(out.next), period);
         res.accepted = true;
         res.period = period;
-        bump("online.period_updates");
+        bump(engine::resolve(cfg_.compiler.ctx).metricsRegistry(),
+             "online.period_updates");
     } else {
         res.period = cfg_.compiler.inputPeriod;
     }
@@ -861,7 +883,8 @@ OnlineScheduler::injectFault(const std::string &spec)
 
     publish(std::move(next), rep.degradedPeriod);
     res.accepted = true;
-    bump("online.faults_injected");
+    bump(engine::resolve(cfg_.compiler.ctx).metricsRegistry(),
+         "online.faults_injected");
     return finish(res, "fault", t0, false);
 }
 

@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "core/schedule_io.hh"
+#include "engine/context.hh"
 #include "metrics/metrics.hh"
 #include "tfg/dvb.hh"
 #include "tfg/tfg_io.hh"
@@ -20,10 +21,10 @@ namespace server {
 namespace {
 
 void
-bump(const char *name, std::uint64_t n = 1)
+bump(metrics::Registry &reg, const char *name, std::uint64_t n = 1)
 {
     if (SRSIM_METRICS_ENABLED())
-        metrics::Registry::global().counter(name).add(n);
+        reg.counter(name).add(n);
 }
 
 std::string
@@ -75,6 +76,33 @@ buildAllocation(const SessionConfig &sc, const TaskFlowGraph &g,
 
 } // namespace
 
+std::shared_ptr<engine::EngineContext>
+SchedulingDaemon::makeSessionContext(const SessionConfig &sc) const
+{
+    engine::ChildOptions co;
+    co.name = "session." + sc.name;
+    co.threads = sc.threads;
+    co.baseSeed = sc.seed;
+    if (sc.solver == "dense")
+        co.solverKind = lp::SolverKind::Dense;
+    else if (sc.solver == "sparse")
+        co.solverKind = lp::SolverKind::Sparse;
+    else if (!sc.solver.empty())
+        fatal("unknown session solver kind '", sc.solver,
+              "' (expected dense or sparse)");
+    return root_->createChild(co);
+}
+
+void
+SchedulingDaemon::registerSessionCtxLocked(
+    const std::string &name,
+    std::shared_ptr<engine::EngineContext> ctx)
+{
+    if (!sessionCtxs_.count(name))
+        sessionCtxOrder_.push_back(name);
+    sessionCtxs_[name] = std::move(ctx);
+}
+
 const char *
 daemonOutcomeName(DaemonOutcome o)
 {
@@ -94,13 +122,16 @@ daemonOutcomeName(DaemonOutcome o)
 
 SchedulingDaemon::SchedulingDaemon(DaemonConfig cfg)
     : cfg_(std::move(cfg)),
+      root_(&engine::resolve(cfg_.ctx)),
       cache_(std::make_shared<online::ScheduleCache>(
-          cfg_.cacheCapacity == 0 ? 1 : cfg_.cacheCapacity))
+          cfg_.cacheCapacity == 0 ? 1 : cfg_.cacheCapacity,
+          &root_->metricsRegistry()))
 {
     if (cfg_.workers == 0)
         cfg_.workers = 1;
     if (cfg_.walSyncEvery == 0)
         cfg_.walSyncEvery = 1;
+    wal_.setRegistry(&root_->metricsRegistry());
     if (!cfg_.stateDir.empty())
         runRecovery();
     // Workers exist only after recovery: recovery is deliberately
@@ -120,14 +151,15 @@ SchedulingDaemon::~SchedulingDaemon()
 }
 
 std::unique_ptr<online::OnlineScheduler>
-SchedulingDaemon::buildService(const SessionConfig &sc,
-                               Time period) const
+SchedulingDaemon::buildService(const SessionConfig &sc, Time period,
+                               const engine::EngineContext *ctx) const
 {
     TaskFlowGraph g = buildWorkload(sc);
     auto topo = makeTopology(sc.topo);
     const TimingModel tm = effectiveTiming(sc);
     const TaskAllocation alloc = buildAllocation(sc, g, *topo);
     online::OnlineSchedulerConfig ocfg;
+    ocfg.compiler.ctx = ctx;
     ocfg.compiler.inputPeriod = period;
     ocfg.compiler.assign.seed = sc.seed;
     ocfg.cacheCapacity =
@@ -174,7 +206,8 @@ SchedulingDaemon::writeSnapshotLocked()
 {
     if (cfg_.stateDir.empty())
         return;
-    trace::ScopedPhase phase("server_snapshot");
+    trace::ScopedPhase phase("server_snapshot", root_->tracer(),
+                             root_->metricsRegistry());
     std::lock_guard<std::mutex> wlock(walMu_);
     if (!wal_.isOpen())
         return; // crashed or already shut down
@@ -242,7 +275,7 @@ SchedulingDaemon::writeSnapshotLocked()
     }
     acceptedSinceSnapshot_ = 0;
     ++snapshots_;
-    bump("server.snapshots");
+    bump(root_->metricsRegistry(), "server.snapshots");
 }
 
 // -- Recovery -----------------------------------------------------
@@ -289,7 +322,15 @@ SchedulingDaemon::restoreFromSnapshot(const DaemonSnapshot &snap,
             return false;
         }
 
+        std::shared_ptr<engine::EngineContext> sctx;
+        try {
+            sctx = makeSessionContext(ss.cfg);
+        } catch (const FatalError &e) {
+            *why = "session '" + ss.cfg.name + "': " + e.what();
+            return false;
+        }
         online::OnlineSchedulerConfig ocfg;
+        ocfg.compiler.ctx = sctx.get();
         ocfg.compiler.inputPeriod = ss.period;
         ocfg.compiler.assign.seed = ss.cfg.seed;
         ocfg.cacheCapacity =
@@ -311,6 +352,7 @@ SchedulingDaemon::restoreFromSnapshot(const DaemonSnapshot &snap,
         }
         Session s;
         s.cfg = ss.cfg;
+        s.ctx = std::move(sctx);
         s.svc = std::move(svc);
         s.openIndex = openIndex++;
         restored.emplace(ss.cfg.name, std::move(s));
@@ -356,6 +398,10 @@ SchedulingDaemon::restoreFromSnapshot(const DaemonSnapshot &snap,
 
     sessions_ = std::move(restored);
     nextOpenIndex_ = openIndex;
+    // Only a *committed* restore registers its contexts: a rejected
+    // candidate must leave no per-session registries behind.
+    for (auto &[name, s] : sessions_)
+        registerSessionCtxLocked(name, s.ctx);
     // Re-seed least-recently-used first so the LRU order (and so
     // future evictions) match the image.
     for (auto it = seeds.rbegin(); it != seeds.rend(); ++it)
@@ -373,8 +419,11 @@ SchedulingDaemon::replayOp(const DaemonOp &op, RecoveryResult &rr)
               return false;
           }
           std::unique_ptr<online::OnlineScheduler> svc;
+          std::shared_ptr<engine::EngineContext> sctx;
           try {
-              svc = buildService(op.open, op.open.period);
+              sctx = makeSessionContext(op.open);
+              svc = buildService(op.open, op.open.period,
+                                 sctx.get());
           } catch (const FatalError &) {
               ++rr.replayRejected;
               return false;
@@ -385,8 +434,10 @@ SchedulingDaemon::replayOp(const DaemonOp &op, RecoveryResult &rr)
           }
           Session s;
           s.cfg = op.open;
+          s.ctx = sctx;
           s.svc = std::move(svc);
           s.openIndex = nextOpenIndex_++;
+          registerSessionCtxLocked(op.session, std::move(sctx));
           sessions_.emplace(op.session, std::move(s));
           return true;
       }
@@ -553,10 +604,12 @@ SchedulingDaemon::open(const SessionConfig &sc)
     }
 
     std::unique_ptr<online::OnlineScheduler> svc;
+    std::shared_ptr<engine::EngineContext> sctx;
     online::RequestResult first;
     std::string configError;
     try {
-        svc = buildService(sc, sc.period);
+        sctx = makeSessionContext(sc);
+        svc = buildService(sc, sc.period, sctx.get());
         first = svc->start();
     } catch (const FatalError &e) {
         configError = e.what();
@@ -570,7 +623,9 @@ SchedulingDaemon::open(const SessionConfig &sc)
         closedOut = shutdown_;
         auto it = sessions_.find(sc.name);
         if (ok && !closedOut) {
+            it->second.ctx = sctx;
             it->second.svc = std::move(svc);
+            registerSessionCtxLocked(sc.name, std::move(sctx));
             // WAL order must equal publication order: append the
             // Open while the lock still parks this session's first
             // request (its worker only starts below) and blocks
@@ -602,10 +657,11 @@ SchedulingDaemon::open(const SessionConfig &sc)
             setQueueGaugeLocked();
         }
     }
+    metrics::Registry &reg = root_->metricsRegistry();
     if (!configError.empty()) {
         resp.outcome = DaemonOutcome::InvalidConfig;
         resp.detail = configError;
-        bump("server.rejected");
+        bump(reg, "server.rejected");
         return resp;
     }
     if (closedOut) {
@@ -613,15 +669,15 @@ SchedulingDaemon::open(const SessionConfig &sc)
         // snapshot has been (or is being) taken without this
         // session, so it must not come alive after it.
         resp.outcome = DaemonOutcome::ShuttingDown;
-        bump("server.rejected");
+        bump(reg, "server.rejected");
         return resp;
     }
     resp.result = first;
     if (ok) {
-        bump("server.opens");
-        bump("server.accepted");
+        bump(reg, "server.opens");
+        bump(reg, "server.accepted");
     } else {
-        bump("server.rejected");
+        bump(reg, "server.rejected");
     }
     if (kick) {
         const std::string name = sc.name;
@@ -669,7 +725,7 @@ SchedulingDaemon::close(const std::string &session)
         op.session = session;
         walAppend(op);
     }
-    bump("server.closes");
+    bump(root_->metricsRegistry(), "server.closes");
     return resp;
 }
 
@@ -679,7 +735,7 @@ void
 SchedulingDaemon::setQueueGaugeLocked()
 {
     if (SRSIM_METRICS_ENABLED())
-        metrics::Registry::global().gauge("server.queue_depth")
+        root_->metricsRegistry().gauge("server.queue_depth")
             .set(static_cast<double>(queued_));
 }
 
@@ -700,7 +756,7 @@ SchedulingDaemon::submit(const std::string &session,
     {
         std::lock_guard<std::mutex> lock(mu_);
         reject.id = job->id = nextId_++;
-        bump("server.requests");
+        bump(root_->metricsRegistry(), "server.requests");
         if (shutdown_) {
             reject.outcome = DaemonOutcome::ShuttingDown;
             job->promise.set_value(std::move(reject));
@@ -720,7 +776,7 @@ SchedulingDaemon::submit(const std::string &session,
             reject.outcome = DaemonOutcome::Overloaded;
             reject.detail = "queue full (cap " +
                             std::to_string(cfg_.queueCap) + ")";
-            bump("server.overloaded");
+            bump(root_->metricsRegistry(), "server.overloaded");
             job->promise.set_value(std::move(reject));
             return fut;
         }
@@ -749,10 +805,11 @@ SchedulingDaemon::finishJob(Session &s, Job &job)
     resp.id = job.id;
     resp.session = s.cfg.name;
     resp.kind = job.kind;
+    const engine::EngineContext &ectx = engine::resolve(s.ctx.get());
     const double pickedUs = trace::Tracer::nowWallUs();
     resp.queueMs = (pickedUs - job.enqueueUs) / 1000.0;
     if (SRSIM_METRICS_ENABLED())
-        metrics::Registry::global()
+        root_->metricsRegistry()
             .histogram("server.queue_wait_us",
                        metrics::Histogram::timeBucketsUs())
             .add(pickedUs - job.enqueueUs);
@@ -761,12 +818,13 @@ SchedulingDaemon::finishJob(Session &s, Job &job)
         resp.outcome = DaemonOutcome::DeadlineExpired;
         resp.detail = "queued " + std::to_string(resp.queueMs) +
                       " ms past its deadline";
-        bump("server.deadline_expired");
+        bump(root_->metricsRegistry(), "server.deadline_expired");
         job.promise.set_value(std::move(resp));
         return;
     }
 
-    trace::ScopedPhase phase("server_request");
+    trace::ScopedPhase phase("server_request", ectx.tracer(),
+                             ectx.metricsRegistry());
     try {
         resp.result = s.svc->process(job.req);
     } catch (const FatalError &e) {
@@ -780,13 +838,15 @@ SchedulingDaemon::finishJob(Session &s, Job &job)
         op.session = s.cfg.name;
         op.request = job.req;
         walAppend(op);
-        bump("server.accepted");
+        bump(root_->metricsRegistry(), "server.accepted");
     } else {
-        bump("server.rejected");
+        bump(root_->metricsRegistry(), "server.rejected");
     }
+    // The session's registry writes through to the root aggregate,
+    // so this per-session histogram lands in both.
     if (job.req.kind == online::RequestKind::AdmitMessage &&
         SRSIM_METRICS_ENABLED())
-        metrics::Registry::global()
+        ectx.metricsRegistry()
             .histogram("server.session." + s.cfg.name +
                            ".admit_latency_us",
                        metrics::Histogram::timeBucketsUs())
@@ -949,6 +1009,20 @@ SchedulingDaemon::queueDepth() const
 {
     std::lock_guard<std::mutex> lock(mu_);
     return queued_;
+}
+
+std::vector<std::pair<std::string, const metrics::Registry *>>
+SchedulingDaemon::sessionMetrics() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::pair<std::string, const metrics::Registry *>>
+        out;
+    for (const std::string &name : sessionCtxOrder_) {
+        const auto it = sessionCtxs_.find(name);
+        if (it != sessionCtxs_.end())
+            out.emplace_back(name, &it->second->metricsRegistry());
+    }
+    return out;
 }
 
 std::uint64_t

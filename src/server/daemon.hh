@@ -45,8 +45,10 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "engine/context.hh"
 #include "online/cache.hh"
 #include "online/service.hh"
 #include "server/protocol.hh"
@@ -77,6 +79,13 @@ struct DaemonConfig
     double deadlineMs = 0.0;
     /** Shared schedule-cache capacity (entries); 0 disables. */
     std::size_t cacheCapacity = 64;
+    /**
+     * Root engine context the daemon runs under; every session gets
+     * a child of it (own metrics registry, optional private solver
+     * kind / thread budget via the open line's solver= / threads=
+     * keys). nullptr uses the process default context.
+     */
+    const engine::EngineContext *ctx = nullptr;
 };
 
 /** Daemon-level disposition of one operation. */
@@ -210,6 +219,18 @@ class SchedulingDaemon
 
     online::ScheduleCache &cache() { return *cache_; }
 
+    /**
+     * (name, registry) of every session that has opened, in
+     * first-open order. A session's registry is its child context's
+     * — it holds only that session's activity (the same updates
+     * also wrote through to the daemon aggregate) — and survives
+     * close() so a post-run summary can still report it. Reopening
+     * a name starts that name's registry over. Pointers stay valid
+     * for the daemon's lifetime.
+     */
+    std::vector<std::pair<std::string, const metrics::Registry *>>
+    sessionMetrics() const;
+
     std::uint64_t walRecords() const;
     std::uint64_t walFsyncs() const;
     std::uint64_t snapshotsWritten() const { return snapshots_; }
@@ -237,6 +258,13 @@ class SchedulingDaemon
     struct Session
     {
         SessionConfig cfg;
+        /**
+         * This session's engine context (child of the daemon's
+         * root). Declared before svc, which holds a raw pointer to
+         * it, so it is destroyed after svc; the daemon's
+         * sessionCtxs_ map also keeps it alive across close().
+         */
+        std::shared_ptr<engine::EngineContext> ctx;
         std::unique_ptr<online::OnlineScheduler> svc;
         std::deque<std::unique_ptr<Job>> pending;
         /** True while a worker is draining this session. */
@@ -245,10 +273,22 @@ class SchedulingDaemon
         std::uint64_t openIndex = 0;
     };
 
-    /** Build fabric + workload + service for `sc`; throws
-        FatalError on invalid config. */
+    /** Build fabric + workload + service for `sc`, running under
+        `ctx`; throws FatalError on invalid config. */
     std::unique_ptr<online::OnlineScheduler>
-    buildService(const SessionConfig &sc, Time period) const;
+    buildService(const SessionConfig &sc, Time period,
+                 const engine::EngineContext *ctx) const;
+
+    /** Child context for one session per its open-line overrides;
+        throws FatalError on an unknown solver kind. */
+    std::shared_ptr<engine::EngineContext>
+    makeSessionContext(const SessionConfig &sc) const;
+
+    /** Record `ctx` as session `name`'s context (caller holds
+        mu_ or is in single-threaded recovery). */
+    void registerSessionCtxLocked(
+        const std::string &name,
+        std::shared_ptr<engine::EngineContext> ctx);
 
     void runRecovery();
     /** Replay one WAL op inline during recovery. */
@@ -267,12 +307,24 @@ class SchedulingDaemon
     void setQueueGaugeLocked();
 
     DaemonConfig cfg_;
+    /** Resolved root context (never null after construction). */
+    const engine::EngineContext *root_ = nullptr;
     std::shared_ptr<online::ScheduleCache> cache_;
     std::unique_ptr<ThreadPool> pool_;
 
     mutable std::mutex mu_;
     std::condition_variable idleCv_;
     std::map<std::string, Session> sessions_;
+    /**
+     * Session contexts by name, kept past close() so per-session
+     * metrics survive for the end-of-run summary (and so a child
+     * context always outlives its scheduler). Reopening a name
+     * replaces its context.
+     */
+    std::map<std::string, std::shared_ptr<engine::EngineContext>>
+        sessionCtxs_;
+    /** First-open order of sessionCtxs_ keys. */
+    std::vector<std::string> sessionCtxOrder_;
     std::uint64_t nextOpenIndex_ = 0;
     std::uint64_t nextId_ = 1;
     std::size_t queued_ = 0;

@@ -96,6 +96,22 @@ parseOpenConfig(std::istringstream &ls, SessionConfig &sc,
                 return false;
             }
             sc.cache = val == "1";
+        } else if (key == "solver") {
+            if (val != "dense" && val != "sparse") {
+                *err = "solver must be dense or sparse, got '" +
+                       val + "'";
+                return false;
+            }
+            sc.solver = val;
+        } else if (key == "threads") {
+            if (!parseNumber(val, &num) || num < 1.0 ||
+                num != static_cast<double>(
+                           static_cast<std::size_t>(num))) {
+                *err = "threads must be a positive integer, got '" +
+                       val + "'";
+                return false;
+            }
+            sc.threads = static_cast<std::size_t>(num);
         } else {
             *err = "unknown open key '" + key + "'";
             return false;

@@ -61,6 +61,16 @@ struct SessionConfig
     std::uint64_t seed = 12345;
     /** Whether this session may use the shared schedule cache. */
     bool cache = true;
+    /**
+     * LP solver kind for this session's compiles: "dense",
+     * "sparse", or "" to inherit the daemon's solver kind.
+     */
+    std::string solver;
+    /**
+     * Private thread budget for this session's engine context;
+     * 0 shares the daemon's pool.
+     */
+    std::size_t threads = 0;
 };
 
 /** One parsed daemon-script operation. */

@@ -9,6 +9,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "engine/context.hh"
 #include "metrics/metrics.hh"
 #include "trace/trace.hh"
 #include "util/json.hh"
@@ -45,6 +46,11 @@ encodeWalRecord(const WalRecord &rec)
           // doubles, which cannot hold every 64-bit seed.
           w.kv("seed", std::to_string(sc.seed));
           w.kv("cache", sc.cache);
+          if (!sc.solver.empty())
+              w.kv("solver", sc.solver);
+          if (sc.threads > 0)
+              w.kv("threads",
+                   static_cast<std::uint64_t>(sc.threads));
           break;
       }
       case DaemonOp::Kind::Close:
@@ -117,6 +123,13 @@ decodeWalRecord(const std::string &line)
         sc.seed = std::strtoull(v->at("seed").string.c_str(),
                                 nullptr, 10);
         sc.cache = v->at("cache").boolean;
+        // Absent on records written before sessions carried solver
+        // and thread overrides: inherit-the-daemon defaults.
+        if (v->has("solver"))
+            sc.solver = v->at("solver").string;
+        if (v->has("threads"))
+            sc.threads = static_cast<std::size_t>(
+                v->at("threads").number);
     } else if (op == "close") {
         rec.op.kind = DaemonOp::Kind::Close;
     } else if (op == "admit") {
@@ -201,6 +214,14 @@ readWal(const std::string &path)
     return out;
 }
 
+metrics::Registry &
+WriteAheadLog::reg() const
+{
+    return registry_ != nullptr
+               ? *registry_
+               : engine::resolve(nullptr).metricsRegistry();
+}
+
 WriteAheadLog::~WriteAheadLog()
 {
     close();
@@ -232,8 +253,7 @@ WriteAheadLog::append(const DaemonOp &op)
     pending_ += '\n';
     ++appended_;
     if (SRSIM_METRICS_ENABLED())
-        metrics::Registry::global().counter("server.wal_records")
-            .add(1);
+        reg().counter("server.wal_records").add(1);
     return rec.seq;
 }
 
@@ -275,11 +295,10 @@ WriteAheadLog::sync()
     }
     ++fsyncs_;
     if (SRSIM_METRICS_ENABLED()) {
-        metrics::Registry::global().counter("server.wal_fsyncs")
-            .add(1);
-        metrics::Registry::global()
-            .histogram("server.wal_fsync_us",
-                       metrics::Histogram::timeBucketsUs())
+        metrics::Registry &r = reg();
+        r.counter("server.wal_fsyncs").add(1);
+        r.histogram("server.wal_fsync_us",
+                    metrics::Histogram::timeBucketsUs())
             .add(trace::Tracer::nowWallUs() - t0);
     }
     return true;

@@ -34,6 +34,11 @@
 #include "server/protocol.hh"
 
 namespace srsim {
+
+namespace metrics {
+class Registry;
+}
+
 namespace server {
 
 /** One durable log record: a sequenced daemon operation. */
@@ -102,6 +107,13 @@ class WriteAheadLog
      */
     void crashForTest();
 
+    /**
+     * Registry the server.wal_* metrics land in; nullptr (the
+     * default) resolves the process default registry. The daemon
+     * points this at its root context's registry before opening.
+     */
+    void setRegistry(metrics::Registry *r) { registry_ = r; }
+
     /** Sequence number the next append() will use. */
     std::uint64_t nextSeq() const { return nextSeq_; }
     /** Records appended (buffered or synced) this run. */
@@ -110,6 +122,10 @@ class WriteAheadLog
     std::uint64_t fsyncs() const { return fsyncs_; }
 
   private:
+    /** Resolve the effective metrics registry (see setRegistry). */
+    metrics::Registry &reg() const;
+
+    metrics::Registry *registry_ = nullptr;
     int fd_ = -1;
     std::string pending_;
     std::uint64_t nextSeq_ = 1;

@@ -528,7 +528,6 @@ solverCounters()
 
 namespace {
 
-std::atomic<int> g_solver_kind{-1};
 std::atomic<bool> g_diff_enabled{false};
 
 struct DiffState
@@ -609,7 +608,7 @@ warmOrDense(const Problem &p, const SolveOptions &opts)
 }
 
 /** Run every oracle, record disagreements, return the production
- *  result (defaultSolver semantics, warm start honored). */
+ *  result (opts.kind semantics, warm start honored). */
 Solution
 diffSolve(const Problem &p, const SolveOptions &opts)
 {
@@ -622,34 +621,13 @@ diffSolve(const Problem &p, const SolveOptions &opts)
     if (opts.warmStart != nullptr && !opts.warmStart->empty()) {
         const Solution warm = solveRevised(p, opts);
         diffCompare(p, dense, warm, "sparse-warm");
-        if (defaultSolver() == SolverKind::Sparse)
+        if (opts.kind == SolverKind::Sparse)
             return warmOrDense(p, opts);
     }
     return dense;
 }
 
 } // namespace
-
-SolverKind
-defaultSolver()
-{
-    int k = g_solver_kind.load(std::memory_order_relaxed);
-    if (k < 0) {
-        const char *env = std::getenv("SRSIM_SOLVER");
-        k = (env && std::string(env) == "dense")
-                ? static_cast<int>(SolverKind::Dense)
-                : static_cast<int>(SolverKind::Sparse);
-        g_solver_kind.store(k, std::memory_order_relaxed);
-    }
-    return static_cast<SolverKind>(k);
-}
-
-void
-setDefaultSolver(SolverKind kind)
-{
-    g_solver_kind.store(static_cast<int>(kind),
-                        std::memory_order_relaxed);
-}
 
 SolverStats
 solverStats()
@@ -713,7 +691,7 @@ solve(const Problem &p, const SolveOptions &opts)
     Solution sol;
     if (g_diff_enabled.load(std::memory_order_relaxed)) {
         sol = diffSolve(p, opts);
-    } else if (defaultSolver() == SolverKind::Sparse) {
+    } else if (opts.kind == SolverKind::Sparse) {
         sol = warmOrDense(p, opts);
     } else {
         sol = solveDense(p, opts);
@@ -721,11 +699,9 @@ solve(const Problem &p, const SolveOptions &opts)
     detail::SolverCounterBlock &b = detail::solverCounters();
     b.solves.fetch_add(1);
     b.pivots.fetch_add(sol.pivots);
-    if (SRSIM_METRICS_ENABLED()) {
-        metrics::Registry::global().counter("solver.solves").add(1);
-        metrics::Registry::global()
-            .counter("solver.pivots")
-            .add(sol.pivots);
+    if (SRSIM_METRICS_ENABLED() && opts.registry != nullptr) {
+        opts.registry->counter("solver.solves").add(1);
+        opts.registry->counter("solver.pivots").add(sol.pivots);
     }
     return sol;
 }

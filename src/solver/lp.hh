@@ -25,6 +25,11 @@
 #include <vector>
 
 namespace srsim {
+
+namespace metrics {
+class Registry;
+} // namespace metrics
+
 namespace lp {
 
 /** Constraint sense. */
@@ -179,9 +184,38 @@ struct Solution
     bool feasible() const { return status == Status::Optimal; }
 };
 
+/**
+ * Which solver stack the lp::solve dispatcher uses.
+ *
+ * Dense runs the two-phase tableau simplex for everything and
+ * ignores warm-start bases. Sparse layers the revised-simplex
+ * warm-start machinery on top of it: a solve carrying a usable warm
+ * basis resumes with revised primal/dual pivots, and everything
+ * else — cold solves, and any warm attempt that falls through the
+ * fallback ladder — runs the identical tableau path.
+ *
+ * Cold solves are therefore bit-identical across both kinds by
+ * construction. That is deliberate: published schedules print raw
+ * doubles, so the golden byte-identity suite requires the cold
+ * pipeline to be arithmetic-for-arithmetic deterministic, which no
+ * independently-implemented elimination order can provide. The
+ * genuinely independent sparse implementation (solveRevised) is the
+ * differential oracle instead: `srfuzz --solver-diff` cross-checks
+ * its verdicts and objectives against the tableau on every case.
+ */
+enum class SolverKind { Dense, Sparse };
+
 /** Solver knobs. */
 struct SolveOptions
 {
+    /**
+     * Solver stack for this solve. There is no process-wide default
+     * any more: the engine context carries the configured kind
+     * (EngineContext::solveOptions() pre-fills it) and the CLI entry
+     * layer parses SRSIM_SOLVER exactly once into the root context,
+     * so a mid-run environment change cannot flip the solver.
+     */
+    SolverKind kind = SolverKind::Sparse;
     /** Hard cap on pivots across both phases. */
     std::size_t maxIterations = 200000;
     /**
@@ -212,38 +246,16 @@ struct SolveOptions
      * The dense solver ignores it.
      */
     const Basis *warmStart = nullptr;
+    /**
+     * When set (and metrics are enabled), the dispatcher bumps
+     * "solver.solves"/"solver.pivots" and the warm-start machinery
+     * bumps "solver.warmstart.{attempts,hits,misses}" against this
+     * registry — a per-session child registry under the daemon, the
+     * process registry under the default context. nullptr records
+     * nothing (the process-wide SolverStats block still counts).
+     */
+    metrics::Registry *registry = nullptr;
 };
-
-/**
- * Which solver stack the lp::solve dispatcher uses.
- *
- * Dense runs the two-phase tableau simplex for everything and
- * ignores warm-start bases. Sparse layers the revised-simplex
- * warm-start machinery on top of it: a solve carrying a usable warm
- * basis resumes with revised primal/dual pivots, and everything
- * else — cold solves, and any warm attempt that falls through the
- * fallback ladder — runs the identical tableau path.
- *
- * Cold solves are therefore bit-identical across both kinds by
- * construction. That is deliberate: published schedules print raw
- * doubles, so the golden byte-identity suite requires the cold
- * pipeline to be arithmetic-for-arithmetic deterministic, which no
- * independently-implemented elimination order can provide. The
- * genuinely independent sparse implementation (solveRevised) is the
- * differential oracle instead: `srfuzz --solver-diff` cross-checks
- * its verdicts and objectives against the tableau on every case.
- */
-enum class SolverKind { Dense, Sparse };
-
-/**
- * The process-wide default solver. Resolved once from the
- * SRSIM_SOLVER environment variable ("dense" or "sparse"; default
- * sparse) unless overridden by setDefaultSolver().
- */
-SolverKind defaultSolver();
-
-/** Override the default solver (tests / benches / A-B runs). */
-void setDefaultSolver(SolverKind kind);
 
 /** Process-wide solver counters (monotonic, thread-safe). */
 struct SolverStats
@@ -305,12 +317,12 @@ SolverCounterBlock &solverCounters();
 
 /**
  * Solve the LP relaxation with the stack selected by
- * defaultSolver(): warm-start-capable (SolverKind::Sparse, the
- * default) or pure dense tableau (SRSIM_SOLVER=dense). Cold solves
- * produce bit-identical results under either kind; only solves
- * carrying a usable SolveOptions::warmStart diverge, by resuming
- * from the candidate basis instead of re-running two phases.
- * Integrality marks are ignored (this is the relaxation).
+ * SolveOptions::kind: warm-start-capable (SolverKind::Sparse, the
+ * default) or pure dense tableau. Cold solves produce bit-identical
+ * results under either kind; only solves carrying a usable
+ * SolveOptions::warmStart diverge, by resuming from the candidate
+ * basis instead of re-running two phases. Integrality marks are
+ * ignored (this is the relaxation).
  */
 Solution solve(const Problem &p, const SolveOptions &opts = {});
 

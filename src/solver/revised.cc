@@ -881,17 +881,13 @@ warmAttempt(const StdForm &sf, const SolveOptions &opts,
     sol.pivots = rev.pivots();
     if (done) {
         ctr.warmHits.fetch_add(1);
-        if (SRSIM_METRICS_ENABLED())
-            metrics::Registry::global()
-                .counter("solver.warmstart.hits")
-                .add(1);
+        if (SRSIM_METRICS_ENABLED() && opts.registry != nullptr)
+            opts.registry->counter("solver.warmstart.hits").add(1);
         return true;
     }
     ctr.warmMisses.fetch_add(1);
-    if (SRSIM_METRICS_ENABLED())
-        metrics::Registry::global()
-            .counter("solver.warmstart.misses")
-            .add(1);
+    if (SRSIM_METRICS_ENABLED() && opts.registry != nullptr)
+        opts.registry->counter("solver.warmstart.misses").add(1);
     return false;
 }
 
@@ -958,10 +954,8 @@ BasisCache::lookup(const std::string &key, std::uint64_t structSig,
         }
     }
     detail::solverCounters().warmMisses.fetch_add(1);
-    if (SRSIM_METRICS_ENABLED())
-        metrics::Registry::global()
-            .counter("solver.warmstart.misses")
-            .add(1);
+    if (SRSIM_METRICS_ENABLED() && registry_ != nullptr)
+        registry_->counter("solver.warmstart.misses").add(1);
     return false;
 }
 

@@ -98,6 +98,17 @@ class BasisCache
 {
   public:
     /**
+     * @param registry when given, lookup misses bump the
+     * "solver.warmstart.misses" counter there (the owning session's
+     * child registry under the daemon). The per-process SolverStats
+     * block counts regardless.
+     */
+    explicit BasisCache(metrics::Registry *registry = nullptr)
+        : registry_(registry)
+    {
+    }
+
+    /**
      * @return true and fill `out` when `key` holds a basis whose
      *         structure signature matches `structSig`. A miss (no
      *         entry or signature mismatch) counts toward
@@ -118,6 +129,7 @@ class BasisCache
         std::uint64_t sig = 0;
         Basis basis;
     };
+    metrics::Registry *registry_ = nullptr;
     mutable std::mutex mu_;
     std::unordered_map<std::string, Entry> map_;
 };

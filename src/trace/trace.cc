@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <tuple>
+#include <unordered_map>
 
 #include "metrics/metrics.hh"
 #include "util/json.hh"
@@ -12,6 +13,15 @@ namespace srsim {
 namespace trace {
 
 std::atomic<bool> Tracer::enabled_{false};
+
+namespace {
+std::atomic<std::uint64_t> g_nextTracerId{0};
+} // namespace
+
+Tracer::Tracer()
+    : id_(g_nextTracerId.fetch_add(1, std::memory_order_relaxed))
+{
+}
 
 const char *
 trackKindName(TrackKind k)
@@ -55,7 +65,13 @@ Tracer::setEnabled(bool on)
 Tracer::Buffer &
 Tracer::threadBuffer()
 {
-    thread_local std::shared_ptr<Buffer> buf;
+    // Keyed by tracer id: distinct tracers (per-context sinks) must
+    // never share one thread's buffer. Ids are not recycled, so a
+    // stale entry for a dead tracer can never be resolved again.
+    thread_local std::unordered_map<std::uint64_t,
+                                    std::shared_ptr<Buffer>>
+        bufs;
+    std::shared_ptr<Buffer> &buf = bufs[id_];
     if (!buf) {
         buf = std::make_shared<Buffer>();
         std::lock_guard<std::mutex> lock(mu_);
@@ -244,7 +260,9 @@ Tracer::nowWallUs()
         .count();
 }
 
-ScopedPhase::ScopedPhase(const char *name) : name_(name)
+ScopedPhase::ScopedPhase(const char *name, Tracer &tracer,
+                         metrics::Registry &registry)
+    : name_(name), tracer_(&tracer), registry_(&registry)
 {
     active_ = SRSIM_TRACE_ENABLED() ||
               metrics::Registry::enabled();
@@ -258,7 +276,7 @@ ScopedPhase::ScopedPhase(const char *name) : name_(name)
         e.category = "phase";
         e.name = name_;
         e.ts = startUs_;
-        Tracer::instance().record(std::move(e));
+        tracer_->record(std::move(e));
     }
 }
 
@@ -274,12 +292,12 @@ ScopedPhase::~ScopedPhase()
         e.category = "phase";
         e.name = name_;
         e.ts = std::max(endUs, startUs_);
-        Tracer::instance().record(std::move(e));
+        tracer_->record(std::move(e));
     }
     if (metrics::Registry::enabled()) {
-        metrics::Registry::global()
-            .histogram(std::string("sr.phase_ms.") + name_,
-                       metrics::Histogram::timeBucketsMs())
+        registry_
+            ->histogram(std::string("sr.phase_ms.") + name_,
+                        metrics::Histogram::timeBucketsMs())
             .add((endUs - startUs_) / 1000.0);
     }
 }
@@ -287,9 +305,10 @@ ScopedPhase::~ScopedPhase()
 namespace {
 
 void
-emit(EventType type, TrackKind track, std::int32_t trackId,
-     const char *category, std::string name, double ts, double dur,
-     std::int32_t msg, std::int32_t inv, std::string detail = {})
+emit(Tracer &t, EventType type, TrackKind track,
+     std::int32_t trackId, const char *category, std::string name,
+     double ts, double dur, std::int32_t msg, std::int32_t inv,
+     std::string detail = {})
 {
     Event e;
     e.type = type;
@@ -302,130 +321,132 @@ emit(EventType type, TrackKind track, std::int32_t trackId,
     e.msg = msg;
     e.invocation = inv;
     e.detail = std::move(detail);
-    Tracer::instance().record(std::move(e));
+    t.record(std::move(e));
 }
 
 } // namespace
 
 void
-linkAcquire(std::int32_t link, const std::string &msgName,
+linkAcquire(Tracer &t, std::int32_t link, const std::string &msgName,
             std::int32_t msg, std::int32_t inv, double ts)
 {
-    emit(EventType::Begin, TrackKind::Link, link, "link", msgName,
+    emit(t, EventType::Begin, TrackKind::Link, link, "link", msgName,
          ts, 0.0, msg, inv);
 }
 
 void
-linkRelease(std::int32_t link, std::int32_t msg, std::int32_t inv,
-            double ts)
+linkRelease(Tracer &t, std::int32_t link, std::int32_t msg,
+            std::int32_t inv, double ts)
 {
-    emit(EventType::End, TrackKind::Link, link, "link", {}, ts, 0.0,
-         msg, inv);
+    emit(t, EventType::End, TrackKind::Link, link, "link", {}, ts,
+         0.0, msg, inv);
 }
 
 void
-linkBlocked(std::int32_t link, const std::string &msgName,
+linkBlocked(Tracer &t, std::int32_t link, const std::string &msgName,
             std::int32_t msg, std::int32_t inv, double ts)
 {
-    emit(EventType::Instant, TrackKind::Link, link, "blocked",
+    emit(t, EventType::Instant, TrackKind::Link, link, "blocked",
          "blocked: " + msgName, ts, 0.0, msg, inv);
 }
 
 void
-linkOccupy(std::int32_t link, const std::string &msgName,
+linkOccupy(Tracer &t, std::int32_t link, const std::string &msgName,
            std::int32_t msg, std::int32_t inv, double ts, double dur)
 {
-    emit(EventType::Complete, TrackKind::Link, link, "link", msgName,
-         ts, dur, msg, inv);
+    emit(t, EventType::Complete, TrackKind::Link, link, "link",
+         msgName, ts, dur, msg, inv);
 }
 
 void
-xbarExecute(std::int32_t node, const std::string &msgName,
+xbarExecute(Tracer &t, std::int32_t node, const std::string &msgName,
             std::int32_t msg, std::int32_t inv, double ts,
             double dur)
 {
-    emit(EventType::Complete, TrackKind::Cp, node, "xbar", msgName,
-         ts, dur, msg, inv);
+    emit(t, EventType::Complete, TrackKind::Cp, node, "xbar",
+         msgName, ts, dur, msg, inv);
 }
 
 void
-msgWindowBegin(std::int32_t msg, const std::string &msgName,
-               std::int32_t inv, double ts)
+msgWindowBegin(Tracer &t, std::int32_t msg,
+               const std::string &msgName, std::int32_t inv,
+               double ts)
 {
-    emit(EventType::Begin, TrackKind::Msg, msg, "window", msgName,
+    emit(t, EventType::Begin, TrackKind::Msg, msg, "window", msgName,
          ts, 0.0, msg, inv);
 }
 
 void
-msgWindowEnd(std::int32_t msg, std::int32_t inv, double ts)
+msgWindowEnd(Tracer &t, std::int32_t msg, std::int32_t inv,
+             double ts)
 {
-    emit(EventType::End, TrackKind::Msg, msg, "window", {}, ts, 0.0,
-         msg, inv);
+    emit(t, EventType::End, TrackKind::Msg, msg, "window", {}, ts,
+         0.0, msg, inv);
 }
 
 void
-msgWindowSpan(std::int32_t msg, const std::string &msgName,
+msgWindowSpan(Tracer &t, std::int32_t msg, const std::string &msgName,
               std::int32_t inv, double ts, double dur)
 {
-    emit(EventType::Complete, TrackKind::Msg, msg, "window", msgName,
-         ts, dur, msg, inv);
+    emit(t, EventType::Complete, TrackKind::Msg, msg, "window",
+         msgName, ts, dur, msg, inv);
 }
 
 void
-taskBegin(std::int32_t node, const std::string &taskName,
+taskBegin(Tracer &t, std::int32_t node, const std::string &taskName,
           std::int32_t inv, double ts)
 {
-    emit(EventType::Begin, TrackKind::Ap, node, "task", taskName, ts,
-         0.0, -1, inv);
+    emit(t, EventType::Begin, TrackKind::Ap, node, "task", taskName,
+         ts, 0.0, -1, inv);
 }
 
 void
-taskEnd(std::int32_t node, std::int32_t inv, double ts)
+taskEnd(Tracer &t, std::int32_t node, std::int32_t inv, double ts)
 {
-    emit(EventType::End, TrackKind::Ap, node, "task", {}, ts, 0.0,
+    emit(t, EventType::End, TrackKind::Ap, node, "task", {}, ts, 0.0,
          -1, inv);
 }
 
 void
-taskSpan(std::int32_t node, const std::string &taskName,
+taskSpan(Tracer &t, std::int32_t node, const std::string &taskName,
          std::int32_t inv, double ts, double dur)
 {
-    emit(EventType::Complete, TrackKind::Ap, node, "task", taskName,
-         ts, dur, -1, inv);
+    emit(t, EventType::Complete, TrackKind::Ap, node, "task",
+         taskName, ts, dur, -1, inv);
 }
 
 void
-invocationComplete(std::int32_t inv, double ts)
+invocationComplete(Tracer &t, std::int32_t inv, double ts)
 {
-    emit(EventType::Instant, TrackKind::Sim, 0, "invocation",
+    emit(t, EventType::Instant, TrackKind::Sim, 0, "invocation",
          "invocation complete", ts, 0.0, -1, inv);
 }
 
 void
-violation(const std::string &what, double ts)
+violation(Tracer &t, const std::string &what, double ts)
 {
-    emit(EventType::Instant, TrackKind::Sim, 0, "violation",
+    emit(t, EventType::Instant, TrackKind::Sim, 0, "violation",
          "invariant violation", ts, 0.0, -1, -1, what);
 }
 
 void
-faultEvent(const std::string &what, double ts)
+faultEvent(Tracer &t, const std::string &what, double ts)
 {
-    emit(EventType::Instant, TrackKind::Sim, 0, "fault", "fault",
+    emit(t, EventType::Instant, TrackKind::Sim, 0, "fault", "fault",
          ts, 0.0, -1, -1, what);
 }
 
 void
-onlineRequest(const std::string &what, double ts)
+onlineRequest(Tracer &t, const std::string &what, double ts)
 {
-    emit(EventType::Instant, TrackKind::Compiler, 0, "online",
+    emit(t, EventType::Instant, TrackKind::Compiler, 0, "online",
          "online request", ts, 0.0, -1, -1, what);
 }
 
 void
-deadlock(const std::string &cycle, double ts)
+deadlock(Tracer &t, const std::string &cycle, double ts)
 {
-    emit(EventType::Instant, TrackKind::Sim, 0, "deadlock",
+    emit(t, EventType::Instant, TrackKind::Sim, 0, "deadlock",
          "deadlock", ts, 0.0, -1, -1, cycle);
 }
 

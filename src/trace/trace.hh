@@ -49,6 +49,11 @@
 #include <vector>
 
 namespace srsim {
+
+namespace metrics {
+class Registry;
+} // namespace metrics
+
 namespace trace {
 
 /** What a track represents; becomes a Chrome "process". */
@@ -101,12 +106,17 @@ struct Event
 };
 
 /**
- * Process-wide event sink. All methods are thread-safe; record() is
- * lock-free after a thread's first event.
+ * Event sink. All methods are thread-safe; record() is lock-free
+ * after a thread's first event on a given tracer. The process-wide
+ * instance() remains as the default engine context's sink; engine
+ * contexts may own private tracers (each keeps its own per-thread
+ * buffers — two tracers never share a buffer).
  */
 class Tracer
 {
   public:
+    Tracer();
+
     static Tracer &instance();
 
     /** Fast inlined guard used by every instrumentation site. */
@@ -144,8 +154,6 @@ class Tracer
     static double nowWallUs();
 
   private:
-    Tracer() = default;
-
     struct Buffer
     {
         std::vector<Event> events;
@@ -155,6 +163,9 @@ class Tracer
     Buffer &threadBuffer();
 
     static std::atomic<bool> enabled_;
+
+    /** Distinguishes this tracer's thread-local buffers. */
+    const std::uint64_t id_;
 
     mutable std::mutex mu_;
     std::vector<std::shared_ptr<Buffer>> buffers_;
@@ -170,7 +181,13 @@ class Tracer
 class ScopedPhase
 {
   public:
-    explicit ScopedPhase(const char *name);
+    /**
+     * Record against an explicit sink and registry — callers reach
+     * both through their engine context (EngineContext::tracer() /
+     * metricsRegistry()), never through the process singletons.
+     */
+    ScopedPhase(const char *name, Tracer &tracer,
+                metrics::Registry &registry);
     ~ScopedPhase();
 
     ScopedPhase(const ScopedPhase &) = delete;
@@ -178,46 +195,58 @@ class ScopedPhase
 
   private:
     const char *name_;
+    Tracer *tracer_;
+    metrics::Registry *registry_;
     double startUs_ = 0.0;
     bool active_ = false;
 };
 
 // --- Typed recording helpers (no-ops when tracing is off) ---------
+// All take the destination tracer explicitly; callers route through
+// their engine context rather than the process-wide instance.
 
-void linkAcquire(std::int32_t link, const std::string &msgName,
-                 std::int32_t msg, std::int32_t inv, double ts);
-void linkRelease(std::int32_t link, std::int32_t msg,
+void linkAcquire(Tracer &t, std::int32_t link,
+                 const std::string &msgName, std::int32_t msg,
                  std::int32_t inv, double ts);
-void linkBlocked(std::int32_t link, const std::string &msgName,
-                 std::int32_t msg, std::int32_t inv, double ts);
+void linkRelease(Tracer &t, std::int32_t link, std::int32_t msg,
+                 std::int32_t inv, double ts);
+void linkBlocked(Tracer &t, std::int32_t link,
+                 const std::string &msgName, std::int32_t msg,
+                 std::int32_t inv, double ts);
 /** SR scheduled occupancy: a whole window, duration known upfront. */
-void linkOccupy(std::int32_t link, const std::string &msgName,
-                std::int32_t msg, std::int32_t inv, double ts,
-                double dur);
-void xbarExecute(std::int32_t node, const std::string &msgName,
-                 std::int32_t msg, std::int32_t inv, double ts,
-                 double dur);
-void msgWindowBegin(std::int32_t msg, const std::string &msgName,
-                    std::int32_t inv, double ts);
-void msgWindowEnd(std::int32_t msg, std::int32_t inv, double ts);
+void linkOccupy(Tracer &t, std::int32_t link,
+                const std::string &msgName, std::int32_t msg,
+                std::int32_t inv, double ts, double dur);
+void xbarExecute(Tracer &t, std::int32_t node,
+                 const std::string &msgName, std::int32_t msg,
+                 std::int32_t inv, double ts, double dur);
+void msgWindowBegin(Tracer &t, std::int32_t msg,
+                    const std::string &msgName, std::int32_t inv,
+                    double ts);
+void msgWindowEnd(Tracer &t, std::int32_t msg, std::int32_t inv,
+                  double ts);
 /** Scheduled message window, duration known upfront (SR). */
-void msgWindowSpan(std::int32_t msg, const std::string &msgName,
-                   std::int32_t inv, double ts, double dur);
-void taskBegin(std::int32_t node, const std::string &taskName,
-               std::int32_t inv, double ts);
-void taskEnd(std::int32_t node, std::int32_t inv, double ts);
-void taskSpan(std::int32_t node, const std::string &taskName,
-              std::int32_t inv, double ts, double dur);
-void invocationComplete(std::int32_t inv, double ts);
-void violation(const std::string &what, double ts);
+void msgWindowSpan(Tracer &t, std::int32_t msg,
+                   const std::string &msgName, std::int32_t inv,
+                   double ts, double dur);
+void taskBegin(Tracer &t, std::int32_t node,
+               const std::string &taskName, std::int32_t inv,
+               double ts);
+void taskEnd(Tracer &t, std::int32_t node, std::int32_t inv,
+             double ts);
+void taskSpan(Tracer &t, std::int32_t node,
+              const std::string &taskName, std::int32_t inv,
+              double ts, double dur);
+void invocationComplete(Tracer &t, std::int32_t inv, double ts);
+void violation(Tracer &t, const std::string &what, double ts);
 /** Injected fault taking effect (link death, schedule swap, drop). */
-void faultEvent(const std::string &what, double ts);
+void faultEvent(Tracer &t, const std::string &what, double ts);
 /**
  * Online scheduling service request (admit/remove/period/fault)
  * being processed or a new schedule being published.
  */
-void onlineRequest(const std::string &what, double ts);
-void deadlock(const std::string &cycle, double ts);
+void onlineRequest(Tracer &t, const std::string &what, double ts);
+void deadlock(Tracer &t, const std::string &cycle, double ts);
 
 } // namespace trace
 } // namespace srsim

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The one sanctioned doorway to the process environment.
+ *
+ * Ambient `std::getenv` calls scattered through the engine made
+ * configuration untestable and per-session overrides impossible; the
+ * context refactor confines environment access to the entry layer
+ * (CLI / engine-context construction), which reads through these
+ * helpers exactly once and carries the values in explicit config.
+ * tools/check_globals.sh enforces the boundary.
+ */
+
+#ifndef SRSIM_UTIL_ENV_HH_
+#define SRSIM_UTIL_ENV_HH_
+
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+namespace srsim {
+
+/** @return the variable's value, or nullopt when unset or empty. */
+inline std::optional<std::string>
+envString(const char *name)
+{
+    const char *v = std::getenv(name);
+    if (v == nullptr || *v == '\0')
+        return std::nullopt;
+    return std::string(v);
+}
+
+/**
+ * @return the variable parsed as a positive integer; nullopt when
+ * unset, empty, malformed, or < 1 (callers warn as appropriate).
+ */
+inline std::optional<std::size_t>
+envPositive(const char *name)
+{
+    const std::optional<std::string> s = envString(name);
+    if (!s)
+        return std::nullopt;
+    char *end = nullptr;
+    const long v = std::strtol(s->c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || v < 1)
+        return std::nullopt;
+    return static_cast<std::size_t>(v);
+}
+
+} // namespace srsim
+
+#endif // SRSIM_UTIL_ENV_HH_

@@ -5,6 +5,7 @@
 #include <deque>
 #include <sstream>
 
+#include "engine/context.hh"
 #include "metrics/metrics.hh"
 #include "sim/event_queue.hh"
 #include "trace/trace.hh"
@@ -131,6 +132,8 @@ struct WormholeSimulator::Impl
 
     WormholeSimulator &sim;
     const WormholeConfig &cfg;
+    const engine::EngineContext &ectx;
+    trace::Tracer &tracer;
     EventQueue eq;
     std::vector<MsgInstance> instances;
     /** Instances currently flowing (fair-share mode only). */
@@ -153,10 +156,11 @@ struct WormholeSimulator::Impl
     metrics::LinkTimeline *timeline = nullptr;
 
     Impl(WormholeSimulator &s, const WormholeConfig &c)
-        : sim(s), cfg(c)
+        : sim(s), cfg(c), ectx(engine::resolve(c.ctx)),
+          tracer(ectx.tracer())
     {
         if (metering) {
-            auto &reg = metrics::Registry::global();
+            auto &reg = ectx.metricsRegistry();
             injectedCtr =
                 &reg.counter("wormhole.messages_injected");
             blockCtr = &reg.counter("wormhole.link_blocks");
@@ -242,8 +246,8 @@ struct WormholeSimulator::Impl
         const NodeId node = sim.alloc_.nodeOf(t);
         aps[static_cast<std::size_t>(node)].busy = true;
         if (tracing)
-            trace::taskBegin(node, sim.g_.task(t).name, j,
-                             eq.now());
+            trace::taskBegin(tracer, node, sim.g_.task(t).name,
+                             j, eq.now());
         const Time dur = sim.tm_.taskTime(sim.g_, t);
         eq.scheduleAfter(dur, [this, t, j] { finishTask(t, j); });
     }
@@ -254,7 +258,8 @@ struct WormholeSimulator::Impl
         TaskInstance &ti = taskInst[taskIdx(t, j)];
         ti.finished = true;
         if (tracing)
-            trace::taskEnd(sim.alloc_.nodeOf(t), j, eq.now());
+            trace::taskEnd(tracer, sim.alloc_.nodeOf(t), j,
+                           eq.now());
         if (isOutputTask[static_cast<std::size_t>(t)])
             outputDone(t, j);
 
@@ -286,7 +291,7 @@ struct WormholeSimulator::Impl
             result.records.push_back(rec);
             ++recorded;
             if (tracing)
-                trace::invocationComplete(j, eq.now());
+                trace::invocationComplete(tracer, j, eq.now());
         }
     }
 
@@ -320,7 +325,7 @@ struct WormholeSimulator::Impl
             mi.transmitting = true;
             if (tracing)
                 trace::msgWindowBegin(
-                    mi.msg, sim.g_.message(mi.msg).name,
+                    tracer, mi.msg, sim.g_.message(mi.msg).name,
                     mi.invocation, eq.now());
             if (cfg.fairShare) {
                 // Progressive filling: rate depends on the sharing
@@ -354,7 +359,7 @@ struct WormholeSimulator::Impl
             if (blockCtr)
                 blockCtr->add();
             if (tracing)
-                trace::linkBlocked(l,
+                trace::linkBlocked(tracer, l,
                                    sim.g_.message(mi.msg).name,
                                    mi.msg, mi.invocation,
                                    eq.now());
@@ -369,7 +374,8 @@ struct WormholeSimulator::Impl
             return;
         mi.acquireTs.push_back(eq.now());
         if (tracing)
-            trace::linkAcquire(l, sim.g_.message(mi.msg).name,
+            trace::linkAcquire(tracer, l,
+                               sim.g_.message(mi.msg).name,
                                mi.msg, mi.invocation, eq.now());
     }
 
@@ -434,13 +440,14 @@ struct WormholeSimulator::Impl
                          "release of foreign link");
             ls.occupants.erase(it);
             if (tracing)
-                trace::linkRelease(l, mi.msg, mi.invocation,
-                                   eq.now());
+                trace::linkRelease(tracer, l, mi.msg,
+                                   mi.invocation, eq.now());
             if (timeline && k < mi.acquireTs.size())
                 timeline->occupy(l, mi.acquireTs[k], eq.now());
         }
         if (tracing)
-            trace::msgWindowEnd(mi.msg, mi.invocation, eq.now());
+            trace::msgWindowEnd(tracer, mi.msg, mi.invocation,
+                                eq.now());
         deliver(idx);
         for (LinkId l : p.links)
             grantNext(l);
@@ -559,7 +566,8 @@ struct WormholeSimulator::Impl
             if (deadlockCtr)
                 deadlockCtr->add();
             if (tracing)
-                trace::deadlock(result.deadlockInfo, eq.now());
+                trace::deadlock(tracer, result.deadlockInfo,
+                                eq.now());
         }
         std::sort(result.records.begin(), result.records.end(),
                   [](const InvocationRecord &a,

@@ -38,6 +38,10 @@
 
 namespace srsim {
 
+namespace engine {
+class EngineContext;
+}
+
 /** Run parameters for a wormhole simulation. */
 struct WormholeConfig
 {
@@ -65,6 +69,12 @@ struct WormholeConfig
      * the sharing pattern changes. Requires virtualChannels >= 2.
      */
     bool fairShare = false;
+    /**
+     * Engine context whose tracer receives the simulation events
+     * and whose registry counts wormhole.* metrics. nullptr uses
+     * the process default context.
+     */
+    const engine::EngineContext *ctx = nullptr;
 };
 
 /** Timing record of one TFG invocation. */

@@ -28,6 +28,7 @@
 
 #include "core/schedule_io.hh"
 #include "core/sr_compiler.hh"
+#include "engine/context.hh"
 #include "fault/fault.hh"
 #include "fault/repair.hh"
 #include "mapping/allocation.hh"
@@ -76,10 +77,12 @@ goldenCases()
  * Compile one case and serialize the (possibly repaired) schedule —
  * exactly the bytes its tests/golden/<name>.sched must hold.
  * FatalError when the case is infeasible (the table itself is then
- * broken).
+ * broken). `ctx` lets a caller pin the engine context (e.g. a
+ * forced solver kind); nullptr uses the process default.
  */
 inline std::string
-compileGoldenCase(const GoldenCase &gc)
+compileGoldenCase(const GoldenCase &gc,
+                  const engine::EngineContext *ctx = nullptr)
 {
     const DvbParams dvb;
     const TaskFlowGraph g = buildDvbTfg(dvb);
@@ -90,6 +93,7 @@ compileGoldenCase(const GoldenCase &gc)
     const TaskAllocation alloc = alloc::roundRobin(g, *topo, 13);
 
     SrCompilerConfig cfg;
+    cfg.ctx = ctx;
     cfg.inputPeriod = gc.periodFactor * tm.tauC(g);
     const SrCompileResult r =
         compileScheduledRouting(g, *topo, alloc, tm, cfg);

@@ -128,16 +128,27 @@ TEST(GoldenDeterminism, ThreadCountInvariant)
  */
 TEST(GoldenDeterminism, SolverKindInvariant)
 {
-    const lp::SolverKind prior = lp::defaultSolver();
+    // Solver kind is context state now, not process state: pin each
+    // kind in a child context instead of flipping a global.
+    engine::ChildOptions denseOpts, sparseOpts;
+    denseOpts.name = "golden.dense";
+    denseOpts.solverKind = lp::SolverKind::Dense;
+    sparseOpts.name = "golden.sparse";
+    sparseOpts.solverKind = lp::SolverKind::Sparse;
+    const auto denseCtx =
+        engine::EngineContext::processDefault().createChild(
+            denseOpts);
+    const auto sparseCtx =
+        engine::EngineContext::processDefault().createChild(
+            sparseOpts);
     for (const auto &gc : golden::goldenCases()) {
         const std::string want = readFileOrEmpty(goldenPath(gc));
         ASSERT_FALSE(want.empty())
             << "missing golden file — run tools/regen_golden";
-        lp::setDefaultSolver(lp::SolverKind::Dense);
-        const std::string dense = golden::compileGoldenCase(gc);
-        lp::setDefaultSolver(lp::SolverKind::Sparse);
-        const std::string sparse = golden::compileGoldenCase(gc);
-        lp::setDefaultSolver(prior);
+        const std::string dense =
+            golden::compileGoldenCase(gc, denseCtx.get());
+        const std::string sparse =
+            golden::compileGoldenCase(gc, sparseCtx.get());
         EXPECT_EQ(want, dense)
             << "case '" << gc.name
             << "' diverged under SRSIM_SOLVER=dense; "

@@ -508,14 +508,12 @@ TEST(RevisedKind, DenseKindIgnoresWarmStart)
     const Solution cold = lp::solveDense(p);
     ASSERT_EQ(cold.status, Status::Optimal);
 
-    const lp::SolverKind prior = lp::defaultSolver();
-    lp::setDefaultSolver(lp::SolverKind::Dense);
     lp::resetSolverStats();
     SolveOptions opts;
+    opts.kind = lp::SolverKind::Dense;
     opts.warmStart = &cold.basis;
     const Solution s = lp::solve(p, opts);
     const lp::SolverStats st = lp::solverStats();
-    lp::setDefaultSolver(prior);
 
     ASSERT_EQ(s.status, Status::Optimal);
     EXPECT_EQ(s.objective, cold.objective);

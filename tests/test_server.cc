@@ -18,6 +18,8 @@
 #include <vector>
 
 #include "core/schedule_io.hh"
+#include "engine/context.hh"
+#include "metrics/metrics.hh"
 #include "online/script.hh"
 #include "online/service.hh"
 #include "server/daemon.hh"
@@ -559,6 +561,100 @@ TEST(ServerDaemon, StaleRequestsExpireAtPickup)
     EXPECT_EQ(r.outcome, DaemonOutcome::DeadlineExpired);
     // The scheduler never saw it: version is still the initial one.
     EXPECT_EQ(d.published("a")->version, 1u);
+}
+
+/**
+ * Per-session isolation (the context refactor's acceptance case):
+ * two *concurrent* sessions with different solver kinds and thread
+ * budgets must land their solver.warmstart.* and online.* counters
+ * in their own child registries with zero cross-session bleed,
+ * while the daemon root registry holds the exact aggregate.
+ * Runs in the plain and TSan lanes (suite is labeled server+tsan).
+ */
+TEST(ServerDaemon, ConcurrentSessionsIsolatePerSessionMetrics)
+{
+    metrics::Registry::setEnabled(true);
+    // A dedicated root context keeps this test's aggregate clean of
+    // whatever earlier tests put in the process-wide registry.
+    engine::ChildOptions rootOpts;
+    rootOpts.name = "iso-root";
+    const auto root =
+        engine::EngineContext::processDefault().createChild(
+            rootOpts);
+    DaemonConfig cfg;
+    cfg.ctx = root.get();
+    cfg.workers = 2;
+    cfg.cacheCapacity = 0; // every request is a real re-solve
+    SchedulingDaemon d(cfg);
+
+    SessionConfig warm = figSession("warm");
+    warm.solver = "sparse";
+    warm.cache = false;
+    SessionConfig cold = figSession("cold");
+    cold.solver = "dense";
+    cold.threads = 2;
+    cold.cache = false;
+    ASSERT_TRUE(d.open(warm).result.accepted);
+    ASSERT_TRUE(d.open(cold).result.accepted);
+
+    // Distinct request counts per session: equal counters in both
+    // registries would mask a cross-wiring bug.
+    const int warmN = 6, coldN = 4;
+    const auto churn = [&](const std::string &session, int n) {
+        for (int i = 0; i < n; ++i) {
+            online::Request admit;
+            admit.kind = online::RequestKind::AdmitMessage;
+            admit.admits.push_back(
+                {"x" + std::to_string(i), "probe", "verify",
+                 256.0});
+            EXPECT_TRUE(
+                d.submit(session, admit).get().result.accepted);
+        }
+    };
+    std::thread tw([&] { churn("warm", warmN); });
+    std::thread tc([&] { churn("cold", coldN); });
+    tw.join();
+    tc.join();
+    d.drain();
+
+    const auto mets = d.sessionMetrics();
+    ASSERT_EQ(mets.size(), 2u);
+    EXPECT_EQ(mets[0].first, "warm");
+    EXPECT_EQ(mets[1].first, "cold");
+    const metrics::Registry &warmReg = *mets[0].second;
+    const metrics::Registry &coldReg = *mets[1].second;
+    const auto count = [](const metrics::Registry &r,
+                          const std::string &name) {
+        // counterSnapshot, not counter(): the latter would create
+        // the metric in a const-cast world; snapshots can't.
+        for (const auto &[n, v] : r.counterSnapshot())
+            if (n == name)
+                return v;
+        return std::uint64_t{0};
+    };
+
+    // online.* landed in the right child, exactly once per request
+    // (+1 each: open()'s initial compile is a counted request too).
+    EXPECT_EQ(count(warmReg, "online.requests"),
+              static_cast<std::uint64_t>(warmN + 1));
+    EXPECT_EQ(count(coldReg, "online.requests"),
+              static_cast<std::uint64_t>(coldN + 1));
+    // The aggregate is the exact sum — write-through, not copies.
+    EXPECT_EQ(count(root->metricsRegistry(), "online.requests"),
+              static_cast<std::uint64_t>(warmN + coldN + 2));
+
+    // solver.warmstart.* is a sparse-stack phenomenon: the warm
+    // session exercised it, the dense session must show no hits.
+    EXPECT_GT(count(warmReg, "solver.warmstart.hits") +
+                  count(warmReg, "solver.warmstart.misses"),
+              0u);
+    EXPECT_EQ(count(coldReg, "solver.warmstart.hits"), 0u);
+    EXPECT_EQ(count(root->metricsRegistry(),
+                    "solver.warmstart.hits"),
+              count(warmReg, "solver.warmstart.hits") +
+                  count(coldReg, "solver.warmstart.hits"));
+
+    metrics::Registry::setEnabled(false);
 }
 
 TEST(ServerDaemon, SharedCacheServesCrossSessionHits)

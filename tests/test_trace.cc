@@ -76,8 +76,10 @@ TEST_F(TraceTest, DisabledPathRecordsNothing)
     ASSERT_FALSE(SRSIM_TRACE_ENABLED());
     // The guard every instrumentation site uses: with tracing off
     // the statement must not run, so nothing is recorded.
-    SRSIM_TRACE_IF(trace::linkAcquire(0, "m", 0, 0, 1.0));
-    SRSIM_TRACE_IF(trace::violation("nope", 2.0));
+    SRSIM_TRACE_IF(trace::linkAcquire(trace::Tracer::instance(), 0,
+                                      "m", 0, 0, 1.0));
+    SRSIM_TRACE_IF(
+        trace::violation(trace::Tracer::instance(), "nope", 2.0));
     EXPECT_EQ(trace::Tracer::instance().size(), 0u);
 
     // A full instrumented run with tracing off records nothing.
@@ -301,7 +303,9 @@ TEST_F(TraceTest, ScopedPhaseEmitsMatchedPairAndHistogram)
     trace::Tracer::setEnabled(true);
     metrics::Registry::setEnabled(true);
     {
-        trace::ScopedPhase phase("unit_test_phase");
+        trace::ScopedPhase phase("unit_test_phase",
+                                 trace::Tracer::instance(),
+                                 metrics::Registry::global());
     }
     trace::Tracer::setEnabled(false);
     metrics::Registry::setEnabled(false);

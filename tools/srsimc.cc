@@ -48,6 +48,7 @@
 #include "core/sr_compiler.hh"
 #include "core/sr_executor.hh"
 #include "cpsim/cp_simulator.hh"
+#include "engine/context.hh"
 #include "fault/fault.hh"
 #include "fault/repair.hh"
 #include "mapping/allocation.hh"
@@ -97,33 +98,36 @@ usage()
 {
     std::cerr <<
         "usage:\n"
-        "  srsimc info --tfg FILE\n"
+        "  srsimc info --tfg FILE [--threads N]\n"
         "  srsimc compile --tfg FILE --topo SPEC --period US\n"
         "         [--bandwidth B] [--ap-speed S] [--alloc KIND]\n"
         "         [--feedback N] [--guard T] [--seed S]\n"
         "         [--out FILE] [--svg FILE] [--node-schedules]\n"
         "         [--faults SPEC]\n"
         "         [--trace FILE] [--trace-format chrome|csv]\n"
-        "         [--metrics FILE]\n"
+        "         [--metrics FILE] [--threads N]\n"
         "  srsimc simulate --tfg FILE --topo SPEC --period US\n"
         "         [--bandwidth B] [--ap-speed S] [--alloc KIND]\n"
         "         [--vc N] [--invocations N]\n"
         "         [--trace FILE] [--trace-format chrome|csv]\n"
-        "         [--metrics FILE]\n"
+        "         [--metrics FILE] [--threads N]\n"
         "  srsimc serve --tfg FILE --topo SPEC --period US\n"
         "         [--bandwidth B] [--ap-speed S] [--alloc KIND]\n"
         "         [--feedback N] [--guard T] [--seed S]\n"
         "         [--script FILE] [--cache-cap N] [--no-cache]\n"
         "         [--preload FILE] [--out FILE]\n"
         "         [--trace FILE] [--trace-format chrome|csv]\n"
-        "         [--metrics FILE]\n"
+        "         [--metrics FILE] [--threads N]\n"
         "  srsimc daemon [--script FILE | --stdin]\n"
         "         [--state-dir DIR] [--workers N] [--queue-cap K]\n"
         "         [--snapshot-every M] [--wal-sync-every W]\n"
         "         [--deadline-ms D] [--cache-cap N] [--out FILE]\n"
         "         [--trace FILE] [--trace-format chrome|csv]\n"
-        "         [--metrics FILE]\n"
+        "         [--metrics FILE] [--threads N]\n"
         "Flags also accept --key=value; unknown flags are rejected.\n"
+        "--threads N caps engine parallelism; it beats the\n"
+        "SRSIM_THREADS environment variable, which beats the\n"
+        "hardware concurrency.\n"
         "topology SPECs: cube:6, ghc:4,4,4, torus:8,8, mesh:4,4\n"
         "alloc KINDs: greedy (default), random, rr:<stride>, "
         "coupled\n";
@@ -140,11 +144,12 @@ knownFlags()
 {
     static const std::set<std::string> common = {
         "tfg", "topo", "period", "bandwidth", "ap-speed", "alloc",
-        "seed", "trace", "trace-format", "metrics"};
+        "seed", "trace", "trace-format", "metrics", "threads"};
     static const std::map<std::string, std::set<std::string>> k =
         [] {
             std::map<std::string, std::set<std::string>> m;
-            m["info"] = {"tfg", "bandwidth", "ap-speed"};
+            m["info"] = {"tfg", "bandwidth", "ap-speed",
+                         "threads"};
             m["compile"] = common;
             m["compile"].insert({"feedback", "guard", "out", "svg",
                                  "node-schedules", "faults"});
@@ -158,10 +163,32 @@ knownFlags()
                            "workers", "queue-cap",
                            "snapshot-every", "wal-sync-every",
                            "deadline-ms", "cache-cap", "out",
-                           "trace", "trace-format", "metrics"};
+                           "trace", "trace-format", "metrics",
+                           "threads"};
             return m;
         }();
     return k;
+}
+
+/**
+ * Configure the process-default engine context from the command
+ * line, exactly once, before any engine work runs. Precedence for
+ * the thread budget: --threads N beats SRSIM_THREADS beats the
+ * hardware concurrency (the pool's own default). SRSIM_SOLVER is
+ * resolved here too (inside configureProcess), so a mid-run
+ * environment change can never flip the solver kind.
+ */
+void
+configureRootContext(const Options &opts)
+{
+    std::optional<std::size_t> threads;
+    if (opts.has("threads")) {
+        const double n = opts.num("threads", 0.0);
+        if (n < 1.0)
+            fatal("invalid input: --threads must be >= 1");
+        threads = static_cast<std::size_t>(n);
+    }
+    engine::EngineContext::configureProcess(threads, std::nullopt);
 }
 
 /** Reject flags the command does not understand. */
@@ -900,6 +927,21 @@ cmdDaemon(const Options &opts)
             w.endObject();
             w.endObject();
         }
+        // Per-session metrics from each session's child registry.
+        // Purely additive: every aggregate field above is computed
+        // exactly as before, so pre-existing consumers see
+        // byte-identical values.
+        w.key("sessions").beginObject();
+        for (const auto &[name, reg] : daemon.sessionMetrics()) {
+            w.key(name).beginObject();
+            w.key("metrics").beginObject();
+            for (const auto &[cname, val] :
+                 reg->counterSnapshot())
+                w.kv(cname, val);
+            w.endObject();
+            w.endObject();
+        }
+        w.endObject();
         w.key("queueMs").beginObject();
         w.kv("count", static_cast<std::uint64_t>(
                           queueWaits.size()));
@@ -948,6 +990,7 @@ main(int argc, char **argv)
 
     try {
         validateFlags(opts);
+        configureRootContext(opts);
         if (opts.command == "info")
             return cmdInfo(opts);
         if (opts.command == "compile")
